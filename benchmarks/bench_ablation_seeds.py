@@ -1,0 +1,62 @@
+"""Ablation: robustness of the headline gains across random seeds.
+
+Every other bench runs one seeded realization of the synthetic data,
+weather and cluster. This one repeats the Figure-3 comparison over five
+seeds and reports mean ± spread of the Het-Aware and Het-Energy-Aware
+improvements, guarding against a single lucky draw.
+"""
+
+import statistics
+
+from conftest import run_once, save_result
+
+from repro.bench.harness import StrategyRunner
+from repro.bench.reporting import improvement
+from repro.core.strategies import ALPHA_FPM, HET_AWARE, STRATIFIED, het_energy_aware
+from repro.workloads.fpm.apriori import AprioriWorkload
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _run():
+    het_gains = []
+    hea_gains = []
+    hea_energy = []
+    for seed in SEEDS:
+        runner = StrategyRunner.from_name(
+            "rcv1",
+            lambda: AprioriWorkload(min_support=0.1, max_len=3),
+            seed=seed,
+        )
+        base = runner.run(STRATIFIED, 8)
+        het = runner.run(HET_AWARE, 8)
+        hea = runner.run(het_energy_aware(ALPHA_FPM), 8)
+        het_gains.append(improvement(base.makespan_s, het.makespan_s))
+        hea_gains.append(improvement(base.makespan_s, hea.makespan_s))
+        hea_energy.append(
+            improvement(base.total_dirty_energy_j, hea.total_dirty_energy_j)
+        )
+    return {
+        "het_time_gain_pct": het_gains,
+        "hea_time_gain_pct": hea_gains,
+        "hea_energy_gain_pct": hea_energy,
+    }
+
+
+def test_ablation_seeds(benchmark):
+    result = run_once(benchmark, _run)
+    lines = ["ABLATION — gains across seeds (rcv1, 8 partitions)"]
+    for key, values in result.items():
+        lines.append(
+            f"  {key}: mean {statistics.mean(values):+.1f}%  "
+            f"min {min(values):+.1f}%  max {max(values):+.1f}%  "
+            f"values {[round(v, 1) for v in values]}"
+        )
+    save_result("ablation_seeds", "\n".join(lines))
+
+    # Het-Aware wins solidly on every seed.
+    assert min(result["het_time_gain_pct"]) > 20.0
+    # Het-Energy-Aware keeps a time win on every seed...
+    assert min(result["hea_time_gain_pct"]) > 0.0
+    # ...and on average does not cost energy versus the baseline.
+    assert statistics.mean(result["hea_energy_gain_pct"]) > -10.0

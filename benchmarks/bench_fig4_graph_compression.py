@@ -1,0 +1,45 @@
+"""Figure 4: WebGraph compression on the UK and Arabic analogs.
+
+Regenerates the six panels: execution time, dirty energy and
+compression ratio on both webgraphs. Paper shape: Het-Aware up to 51%
+faster (Arabic, 8 partitions); Het-Energy-Aware gives up most of the
+speedup but cuts dirty energy (paper: −26%); all heterogeneity-aware
+schemes match the baseline's compression ratio.
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table, improvement
+
+
+def test_fig4_graph_compression(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: experiments.fig4_graph_compression(
+            size_scale=1.0, partition_counts=(4, 8, 16)
+        ),
+    )
+    at8 = {
+        (r.dataset, r.strategy): r for r in rows if r.partitions == 8
+    }
+    speedup = improvement(
+        at8[("arabic", "Stratified")].makespan_s,
+        at8[("arabic", "Het-Aware")].makespan_s,
+    )
+    lines = [
+        format_table(rows, "FIG 4 — WebGraph compression (time, energy, ratio)"),
+        f"Het-Aware time reduction on arabic at 8 partitions: {speedup:.1f}% (paper: 51%)",
+    ]
+    save_result("fig4_graph_compression", "\n".join(lines))
+
+    for ds in ("uk", "arabic"):
+        base = at8[(ds, "Stratified")]
+        het = at8[(ds, "Het-Aware")]
+        hea = at8[(ds, "Het-Energy-Aware")]
+        assert het.makespan_s < base.makespan_s
+        assert hea.dirty_energy_kj < het.dirty_energy_kj
+        # Quality preserved within 3%.
+        assert abs(
+            het.quality["compression_ratio"] - base.quality["compression_ratio"]
+        ) < 0.03 * base.quality["compression_ratio"]

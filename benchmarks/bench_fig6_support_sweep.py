@@ -1,0 +1,42 @@
+"""Figure 6: Pareto frontiers across support thresholds (tree + text).
+
+The paper's generalization check: for different support settings of
+the same workload, sweeping α still traces a clean time–energy
+frontier. Shape: every support level shows the same α=1-fastest /
+low-α-greenest structure.
+"""
+
+from conftest import run_once, save_result
+
+from repro.bench import experiments
+from repro.bench.reporting import format_frontier
+
+ALPHAS = (1.0, 0.998, 0.997, 0.995, 0.99, 0.9, 0.0)
+
+
+def test_fig6_support_sweep(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: experiments.fig6_support_sweep(
+            size_scale=0.8,
+            partitions=8,
+            tree_supports=(0.12, 0.15),
+            text_supports=(0.1, 0.15),
+            alphas=ALPHAS,
+        ),
+    )
+    blocks = [
+        format_frontier(fs.points, baseline=fs.baseline, title=f"FIG 6 — {fs.label}")
+        for fs in series
+    ]
+    save_result("fig6_support_sweep", "\n\n".join(blocks))
+
+    assert len(series) == 4
+    for fs in series:
+        makespans = [m for _, m, _ in fs.points]
+        energies = [e for _, _, e in fs.points]
+        assert makespans[0] == min(makespans)
+        assert energies[0] == max(energies) or energies[0] >= min(energies)
+        # The frontier exists at every support threshold: the time and
+        # energy extremes are achieved by different α values.
+        assert makespans.index(min(makespans)) != energies.index(min(energies))

@@ -1,0 +1,14 @@
+"""Table I: dataset inventory (synthetic analogs, laptop scale)."""
+
+from conftest import run_once, save_result
+
+from repro.bench import experiments
+
+
+def test_table1_datasets(benchmark):
+    rows = run_once(benchmark, lambda: experiments.table1_datasets(size_scale=1.0))
+    lines = ["TABLE I — datasets (synthetic analogs)"]
+    for row in rows:
+        lines.append(str(row))
+    save_result("table1_datasets", "\n".join(lines))
+    assert len(rows) == 5

@@ -1,0 +1,29 @@
+"""Shared helpers for the paper-artefact benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and saves
+its rows/series under ``benchmarks/results/`` so the output survives
+pytest's capture. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each artefact executes once per benchmark round; rounds are kept at 1
+because the experiments are deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist one artefact's rendering and echo it for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic experiment with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

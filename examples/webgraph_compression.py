@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Distributed graph compression with similar-together placement.
+
+The paper's second workload family: split a webgraph into partitions,
+compress each independently, and measure both performance and quality
+(compression ratio). The stratifier's *similar-together* placement puts
+pages with similar link structure in the same partition, keeping
+per-partition entropy low — this script shows that the placement, not
+the sizing, is what protects the ratio, and that heterogeneity-aware
+sizing then buys runtime on top for free.
+
+Run:  python examples/webgraph_compression.py
+"""
+
+from repro import HET_AWARE, RANDOM, STRATIFIED, het_energy_aware, load_dataset
+from repro.bench.harness import StrategyRunner
+from repro.core.strategies import ALPHA_COMPRESSION
+from repro.workloads.compression import CompressionWorkload, WebGraphCodec
+
+
+def codec_demo(items) -> None:
+    codec = WebGraphCodec(window=7)
+    blob, stats = codec.compress(items[:400])
+    assert codec.decompress(blob) == [sorted(set(x)) for x in items[:400]]
+    print(
+        f"WebGraph codec on 400 host-ordered pages: ratio {stats.ratio:.2f}, "
+        f"{stats.bits_per_edge:.1f} bits/edge, "
+        f"{stats.referenced_lists} reference-compressed lists"
+    )
+
+
+def main() -> None:
+    dataset = load_dataset("uk")
+    print(
+        f"dataset: {dataset.name} — {dataset.meta['num_vertices']} vertices, "
+        f"{dataset.meta['num_edges']} edges, {dataset.meta['num_hosts']} hosts"
+    )
+    codec_demo(dataset.items)
+
+    runner = StrategyRunner.from_name(
+        "uk", lambda: CompressionWorkload("webgraph"), unit_rate=5e3
+    )
+    strategies = [
+        STRATIFIED.with_placement("similar"),
+        HET_AWARE.with_placement("similar"),
+        het_energy_aware(ALPHA_COMPRESSION).with_placement("similar"),
+        RANDOM,  # naive placement baseline: same sizes, scattered content
+    ]
+    print(f"\n{'strategy':<22}{'makespan':>10}{'dirty kJ':>10}{'ratio':>8}")
+    for strategy in strategies:
+        report = runner.run(strategy, 8)
+        print(
+            f"{strategy.name + '/' + strategy.placement:<22}"
+            f"{report.makespan_s:>9.2f}s"
+            f"{report.total_dirty_energy_j / 1e3:>10.2f}"
+            f"{report.merged_output.ratio:>8.2f}"
+        )
+    print(
+        "\nnote: similar-together placements keep the ratio; the random"
+        " baseline pays in compressibility, het-aware sizing pays nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

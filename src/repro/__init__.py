@@ -1,0 +1,42 @@
+"""repro — A Pareto Framework for Data Analytics on Heterogeneous Systems.
+
+Python reproduction of Chakrabarti, Parthasarathy & Stewart (ICPP 2017):
+heterogeneity- and green-energy-aware data partitioning for distributed
+analytics, built on stratification, progressive-sampling time models and
+a scalarized multi-objective linear program.
+
+Public entry points:
+
+- :class:`repro.core.ParetoPartitioner` — the partitioning framework;
+- :func:`repro.cluster.paper_cluster` — the emulated heterogeneous
+  cluster (speeds 4x..1x, per-site solar traces);
+- :mod:`repro.workloads` — frequent pattern mining and compression;
+- :func:`repro.data.load_dataset` — synthetic analogs of the paper's
+  five datasets;
+- :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+from repro.core.framework import ParetoPartitioner, RunReport
+from repro.core.strategies import HET_AWARE, RANDOM, STRATIFIED, Strategy, het_energy_aware
+from repro.cluster.cluster import homogeneous_cluster, paper_cluster
+from repro.cluster.engines import ProcessPoolEngine, SimulatedEngine
+from repro.data.datasets import load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ParetoPartitioner",
+    "RunReport",
+    "Strategy",
+    "STRATIFIED",
+    "HET_AWARE",
+    "RANDOM",
+    "het_energy_aware",
+    "paper_cluster",
+    "homogeneous_cluster",
+    "SimulatedEngine",
+    "ProcessPoolEngine",
+    "load_dataset",
+    "__version__",
+]

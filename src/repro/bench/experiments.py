@@ -1,0 +1,289 @@
+"""One entry point per paper artefact (Figures 2–6, Tables I–III).
+
+Each function returns structured data (rows or series) and is invoked
+both by the pytest-benchmark targets in ``benchmarks/`` and by the
+example scripts. Defaults are laptop-scale; crank ``size_scale`` for
+higher fidelity.
+
+Support thresholds are chosen so the smallest het-aware partition still
+has a meaningful absolute support count — at the paper's data sizes
+relative support is insensitive to partition size, but at laptop scale
+a too-low threshold degenerates (min-count 1 makes everything locally
+frequent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.harness import ExperimentRow, StrategyRunner
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.engines import SimulatedEngine
+from repro.core.framework import ParetoPartitioner
+from repro.core.strategies import (
+    ALPHA_COMPRESSION,
+    ALPHA_FPM,
+    HET_AWARE,
+    STRATIFIED,
+    Strategy,
+    het_energy_aware,
+)
+from repro.data.datasets import DATASET_NAMES, dataset_summary, load_dataset
+from repro.workloads.compression.distributed import CompressionWorkload
+from repro.workloads.fpm.apriori import AprioriWorkload
+from repro.workloads.fpm.treemining import TreeMiningWorkload
+
+#: Partition counts the paper's figures report.
+PAPER_PARTITION_COUNTS: tuple[int, ...] = (4, 8, 16)
+
+#: α grid for the Figure 5/6 frontier sweeps, dense near 1.0.
+FRONTIER_ALPHAS: tuple[float, ...] = (
+    1.0, 0.9995, 0.999, 0.998, 0.997, 0.996, 0.995, 0.99, 0.98, 0.95, 0.9, 0.5, 0.0,
+)
+
+#: Default mining supports per domain (see module docstring).
+TREE_SUPPORT = 0.12
+TEXT_SUPPORT = 0.1
+
+
+@dataclass
+class FrontierSeries:
+    """One measured Pareto sweep plus its baseline point (Fig. 5/6)."""
+
+    label: str
+    points: list[tuple[float, float, float]]  # (alpha, makespan_s, dirty_kJ)
+    baseline: tuple[float, float]  # (makespan_s, dirty_kJ)
+    meta: dict = field(default_factory=dict)
+
+    def frontier_dominates_baseline(self) -> bool:
+        """True when some sweep point beats the baseline in both objectives."""
+        bm, be = self.baseline
+        return any(m <= bm and e <= be and (m < bm or e < be) for _, m, e in self.points)
+
+
+def _mining_strategies() -> list[Strategy]:
+    return [STRATIFIED, HET_AWARE, het_energy_aware(ALPHA_FPM)]
+
+
+def _compression_strategies() -> list[Strategy]:
+    return [
+        STRATIFIED.with_placement("similar"),
+        HET_AWARE.with_placement("similar"),
+        het_energy_aware(ALPHA_COMPRESSION).with_placement("similar"),
+    ]
+
+
+# -- Table I ---------------------------------------------------------------
+
+
+def table1_datasets(size_scale: float = 1.0, seed: int = 0) -> list[dict]:
+    """Dataset inventory (paper Table I)."""
+    return [
+        dataset_summary(load_dataset(name, size_scale=size_scale, seed=seed))
+        for name in DATASET_NAMES
+    ]
+
+
+# -- Figures 2 and 3: frequent pattern mining -------------------------------
+
+
+def fig2_tree_mining(
+    *,
+    size_scale: float = 1.0,
+    partition_counts: Sequence[int] = PAPER_PARTITION_COUNTS,
+    support: float = TREE_SUPPORT,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Fig. 2: frequent tree mining time + dirty energy on the two tree
+    datasets, three strategies, per partition count."""
+    rows: list[ExperimentRow] = []
+    for name in ("swissprot", "treebank"):
+        runner = StrategyRunner.from_name(
+            name,
+            lambda: TreeMiningWorkload(min_support=support, max_len=2),
+            size_scale=size_scale,
+            seed=seed,
+        )
+        rows.extend(runner.compare(_mining_strategies(), partition_counts))
+    return rows
+
+
+def fig3_text_mining(
+    *,
+    size_scale: float = 1.0,
+    partition_counts: Sequence[int] = PAPER_PARTITION_COUNTS,
+    support: float = TEXT_SUPPORT,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Fig. 3: Apriori on the RCV1 analog, three strategies."""
+    runner = StrategyRunner.from_name(
+        "rcv1",
+        lambda: AprioriWorkload(min_support=support, max_len=3),
+        size_scale=size_scale,
+        seed=seed,
+    )
+    return runner.compare(_mining_strategies(), partition_counts)
+
+
+# -- Figure 4 and Tables II/III: compression ---------------------------------
+
+
+def fig4_graph_compression(
+    *,
+    size_scale: float = 1.0,
+    partition_counts: Sequence[int] = PAPER_PARTITION_COUNTS,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Fig. 4: WebGraph compression time, dirty energy and compression
+    ratio on the two webgraphs, three strategies."""
+    rows: list[ExperimentRow] = []
+    for name in ("uk", "arabic"):
+        runner = StrategyRunner.from_name(
+            name,
+            lambda: CompressionWorkload("webgraph"),
+            size_scale=size_scale,
+            seed=seed,
+            unit_rate=5e3,
+        )
+        rows.extend(runner.compare(_compression_strategies(), partition_counts))
+    return rows
+
+
+def table2_3_lz77(
+    *,
+    size_scale: float = 1.0,
+    partitions: int = 8,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Tables II/III: LZ77 on UK and Arabic, 8 partitions — execution
+    time and compression ratio per strategy."""
+    rows: list[ExperimentRow] = []
+    for name in ("uk", "arabic"):
+        runner = StrategyRunner.from_name(
+            name,
+            lambda: CompressionWorkload("lz77", max_chain=8),
+            size_scale=size_scale,
+            seed=seed,
+            unit_rate=2e4,
+        )
+        rows.extend(runner.compare(_compression_strategies(), [partitions]))
+    return rows
+
+
+# -- Figures 5 and 6: Pareto frontiers ---------------------------------------
+
+
+def _sweep(
+    runner: StrategyRunner,
+    label: str,
+    *,
+    partitions: int = 8,
+    alphas: Sequence[float] = FRONTIER_ALPHAS,
+    placement: str = "representative",
+) -> FrontierSeries:
+    """Measure the α sweep and the stratified baseline for one setup."""
+    points: list[tuple[float, float, float]] = []
+    for alpha in alphas:
+        report = runner.run(
+            Strategy(name=f"alpha={alpha}", alpha=alpha, placement=placement),
+            partitions,
+        )
+        points.append(
+            (alpha, report.makespan_s, report.total_dirty_energy_j / 1e3)
+        )
+    base = runner.run(STRATIFIED.with_placement(placement), partitions)
+    return FrontierSeries(
+        label=label,
+        points=points,
+        baseline=(base.makespan_s, base.total_dirty_energy_j / 1e3),
+        meta={"partitions": partitions},
+    )
+
+
+def fig5_pareto_frontiers(
+    *,
+    size_scale: float = 1.0,
+    partitions: int = 8,
+    alphas: Sequence[float] = FRONTIER_ALPHAS,
+    seed: int = 0,
+) -> list[FrontierSeries]:
+    """Fig. 5: measured time–energy frontiers for the tree, text and
+    graph workloads at 8 partitions, baseline plotted alongside."""
+    series = []
+    series.append(
+        _sweep(
+            StrategyRunner.from_name(
+                "swissprot",
+                lambda: TreeMiningWorkload(min_support=TREE_SUPPORT, max_len=2),
+                size_scale=size_scale,
+                seed=seed,
+            ),
+            "tree (swissprot)",
+            partitions=partitions,
+            alphas=alphas,
+        )
+    )
+    series.append(
+        _sweep(
+            StrategyRunner.from_name(
+                "rcv1",
+                lambda: AprioriWorkload(min_support=TEXT_SUPPORT, max_len=3),
+                size_scale=size_scale,
+                seed=seed,
+            ),
+            "text (rcv1)",
+            partitions=partitions,
+            alphas=alphas,
+        )
+    )
+    series.append(
+        _sweep(
+            StrategyRunner.from_name(
+                "uk",
+                lambda: CompressionWorkload("webgraph"),
+                size_scale=size_scale,
+                seed=seed,
+                unit_rate=5e3,
+            ),
+            "graph (uk)",
+            partitions=partitions,
+            alphas=alphas,
+            placement="similar",
+        )
+    )
+    return series
+
+
+def fig6_support_sweep(
+    *,
+    size_scale: float = 1.0,
+    partitions: int = 8,
+    tree_supports: Sequence[float] = (0.1, 0.12, 0.15),
+    text_supports: Sequence[float] = (0.08, 0.1, 0.15),
+    alphas: Sequence[float] = FRONTIER_ALPHAS,
+    seed: int = 0,
+) -> list[FrontierSeries]:
+    """Fig. 6: frontiers across support thresholds (tree and text)."""
+    series: list[FrontierSeries] = []
+    for support in tree_supports:
+        runner = StrategyRunner.from_name(
+            "swissprot",
+            lambda s=support: TreeMiningWorkload(min_support=s, max_len=2),
+            size_scale=size_scale,
+            seed=seed,
+        )
+        fs = _sweep(runner, f"tree sup={support}", partitions=partitions, alphas=alphas)
+        fs.meta["support"] = support
+        series.append(fs)
+    for support in text_supports:
+        runner = StrategyRunner.from_name(
+            "rcv1",
+            lambda s=support: AprioriWorkload(min_support=s, max_len=3),
+            size_scale=size_scale,
+            seed=seed,
+        )
+        fs = _sweep(runner, f"text sup={support}", partitions=partitions, alphas=alphas)
+        fs.meta["support"] = support
+        series.append(fs)
+    return series

@@ -1,0 +1,164 @@
+"""Generic strategy-comparison runner.
+
+One :class:`StrategyRunner` binds a dataset to a workload factory and
+executes any strategy on any partition count, reusing the prepared
+(stratify + profile) state per partition count — the paper's amortized
+one-time cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.engines import SimulatedEngine
+from repro.core.framework import ParetoPartitioner, PreparedInput, RunReport
+from repro.core.strategies import Strategy
+from repro.data.datasets import Dataset, load_dataset
+from repro.workloads.base import Workload
+from repro.workloads.fpm.apriori import AprioriWorkload
+from repro.workloads.fpm.eclat import EclatWorkload
+from repro.workloads.fpm.fpgrowth import FPGrowthWorkload
+from repro.workloads.fpm.treemining import TreeMiningWorkload
+
+
+@dataclass
+class ExperimentRow:
+    """One (dataset, workload, partitions, strategy) measurement."""
+
+    dataset: str
+    workload: str
+    partitions: int
+    strategy: str
+    alpha: float | None
+    makespan_s: float
+    dirty_energy_kj: float
+    energy_kj: float
+    quality: dict[str, Any] = field(default_factory=dict)
+    sizes: list[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        out = {
+            "dataset": self.dataset,
+            "workload": self.workload,
+            "partitions": self.partitions,
+            "strategy": self.strategy,
+            "alpha": self.alpha,
+            "makespan_s": round(self.makespan_s, 3),
+            "dirty_energy_kj": round(self.dirty_energy_kj, 3),
+            "energy_kj": round(self.energy_kj, 3),
+        }
+        out.update(self.quality)
+        return out
+
+
+def _is_mining(workload: Workload) -> bool:
+    return isinstance(
+        workload,
+        (AprioriWorkload, EclatWorkload, FPGrowthWorkload, TreeMiningWorkload),
+    )
+
+
+@dataclass
+class StrategyRunner:
+    """Runs strategies over one dataset/workload pair.
+
+    Parameters
+    ----------
+    dataset:
+        A loaded :class:`Dataset` (or use :meth:`from_name`).
+    workload_factory:
+        Zero-argument callable building a fresh workload instance.
+    num_strata / unit_rate / seed:
+        Stratifier and engine configuration.
+    """
+
+    dataset: Dataset
+    workload_factory: Callable[[], Workload]
+    num_strata: int = 12
+    unit_rate: float = 5e4
+    seed: int = 0
+    stage_via_kv: bool = False
+    _prepared: dict[int, tuple[ParetoPartitioner, PreparedInput]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @classmethod
+    def from_name(
+        cls,
+        dataset_name: str,
+        workload_factory: Callable[[], Workload],
+        *,
+        size_scale: float = 1.0,
+        **kwargs,
+    ) -> "StrategyRunner":
+        return cls(
+            dataset=load_dataset(dataset_name, size_scale=size_scale),
+            workload_factory=workload_factory,
+            **kwargs,
+        )
+
+    def prepared_for(self, partitions: int) -> tuple[ParetoPartitioner, PreparedInput]:
+        """Build (and cache) the framework + prepared state for a
+        cluster of ``partitions`` nodes."""
+        if partitions not in self._prepared:
+            cluster = paper_cluster(partitions, seed=self.seed)
+            engine = SimulatedEngine(cluster, unit_rate=self.unit_rate)
+            pp = ParetoPartitioner(
+                engine,
+                kind=self.dataset.kind,
+                num_strata=self.num_strata,
+                seed=self.seed,
+                stage_via_kv=self.stage_via_kv,
+            )
+            prep = pp.prepare(self.dataset.items, self.workload_factory())
+            self._prepared[partitions] = (pp, prep)
+        return self._prepared[partitions]
+
+    def run(self, strategy: Strategy, partitions: int) -> RunReport:
+        """Execute one strategy on a ``partitions``-node cluster."""
+        pp, prep = self.prepared_for(partitions)
+        workload = self.workload_factory()
+        if _is_mining(workload):
+            return pp.execute_fpm(self.dataset.items, workload, strategy, prepared=prep)
+        return pp.execute(self.dataset.items, workload, strategy, prepared=prep)
+
+    def row(self, strategy: Strategy, partitions: int) -> ExperimentRow:
+        """Execute and condense into an :class:`ExperimentRow`."""
+        report = self.run(strategy, partitions)
+        workload = self.workload_factory()
+        quality: dict[str, Any] = {}
+        if report.extra:
+            quality.update(
+                {
+                    k: report.extra[k]
+                    for k in ("candidates", "frequent", "false_positives")
+                    if k in report.extra
+                }
+            )
+        merged = report.merged_output
+        if hasattr(merged, "ratio"):
+            quality["compression_ratio"] = round(merged.ratio, 3)
+        return ExperimentRow(
+            dataset=self.dataset.name,
+            workload=getattr(workload, "name", type(workload).__name__),
+            partitions=partitions,
+            strategy=strategy.name,
+            alpha=strategy.alpha,
+            makespan_s=report.makespan_s,
+            dirty_energy_kj=report.total_dirty_energy_j / 1e3,
+            energy_kj=report.total_energy_j / 1e3,
+            quality=quality,
+            sizes=report.plan.sizes.tolist(),
+        )
+
+    def compare(
+        self, strategies: Sequence[Strategy], partition_counts: Sequence[int]
+    ) -> list[ExperimentRow]:
+        """The cross product: every strategy at every partition count."""
+        return [
+            self.row(strategy, p)
+            for p in partition_counts
+            for strategy in strategies
+        ]

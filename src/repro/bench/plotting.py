@@ -1,0 +1,72 @@
+"""Dependency-free ASCII scatter plots for frontier visualisation.
+
+The bench harness and CLI render time–energy frontiers as terminal
+scatter plots: sweep points as ``*`` (the Pareto-efficient subset as
+``o``), the baseline as ``B`` — a textual Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pareto import pareto_front
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    *,
+    baseline: tuple[float, float] | None = None,
+    width: int = 60,
+    height: int = 20,
+    xlabel: str = "makespan (s)",
+    ylabel: str = "dirty energy (kJ)",
+    title: str | None = None,
+) -> str:
+    """Render 2-D points on a character grid.
+
+    Frontier (non-dominated) points print as ``o``, dominated sweep
+    points as ``*``, the baseline as ``B``. Axes are linear with the
+    data range padded 5%.
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    if width < 10 or height < 5:
+        raise ValueError("plot too small")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if baseline is not None:
+        xs.append(baseline[0])
+        ys.append(baseline[1])
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = 0.05 * (x_hi - x_lo) or 1.0
+    y_pad = 0.05 * (y_hi - y_lo) or 1.0
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return (height - 1 - row, col)
+
+    grid = [[" "] * width for _ in range(height)]
+    efficient = set(pareto_front([list(p) for p in points]))
+    for i, (x, y) in enumerate(points):
+        r, c = cell(x, y)
+        grid[r][c] = "o" if i in efficient else "*"
+    if baseline is not None:
+        r, c = cell(*baseline)
+        grid[r][c] = "B"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.2f} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_lo:10.2f} └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<10.2f}{xlabel:^{max(width - 20, 10)}}{x_hi:>10.2f}"
+    )
+    lines.append(" " * 12 + f"y: {ylabel}   o=Pareto-efficient  *=dominated  B=baseline")
+    return "\n".join(lines)

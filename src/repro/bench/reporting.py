@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment rows and frontier series."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.bench.harness import ExperimentRow
+
+
+def format_table(rows: Sequence[ExperimentRow], title: str | None = None) -> str:
+    """Render rows as an aligned text table (one line per row)."""
+    if not rows:
+        return "(no rows)"
+    dicts = [r.as_dict() for r in rows]
+    columns: list[str] = []
+    for d in dicts:
+        for key in d:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        c: max(len(c), *(len(_fmt(d.get(c))) for d in dicts)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for d in dicts:
+        lines.append("  ".join(_fmt(d.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_frontier(
+    points: Sequence[tuple[float, float, float]],
+    baseline: tuple[float, float] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render an α-sweep frontier: (α, makespan_s, dirty_kJ) triples,
+    with the baseline point appended for the Figure 5 comparison."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'alpha':>8}  {'makespan_s':>12}  {'dirty_kJ':>10}")
+    for alpha, makespan, dirty in points:
+        lines.append(f"{alpha:8.4f}  {makespan:12.3f}  {dirty:10.3f}")
+    if baseline is not None:
+        lines.append(f"{'base':>8}  {baseline[0]:12.3f}  {baseline[1]:10.3f}")
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[ExperimentRow], path) -> None:
+    """Write experiment rows as CSV (union of all columns)."""
+    import csv
+    import pathlib
+
+    dicts = [r.as_dict() for r in rows]
+    columns: list[str] = []
+    for d in dicts:
+        for key in d:
+            if key not in columns:
+                columns.append(key)
+    with pathlib.Path(path).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for d in dicts:
+            writer.writerow(d)
+
+
+def improvement(baseline: float, value: float) -> float:
+    """Percent reduction of ``value`` relative to ``baseline``."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (1.0 - value / baseline)

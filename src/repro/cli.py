@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print the Table-I inventory of the synthetic analog datasets.
+``compare``
+    Run the three partitioning strategies on one dataset/workload and
+    print the time/energy/quality comparison table.
+``frontier``
+    Sweep α and print the measured time–energy frontier (with an ASCII
+    Figure-5-style plot) next to the stratified baseline.
+``profile``
+    Run progressive sampling on a dataset/workload and print the
+    learned per-node time models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.harness import StrategyRunner
+from repro.bench.plotting import ascii_scatter
+from repro.bench.reporting import format_frontier, format_table
+from repro.core.strategies import (
+    ALPHA_COMPRESSION,
+    ALPHA_FPM,
+    HET_AWARE,
+    RANDOM,
+    STRATIFIED,
+    Strategy,
+    het_energy_aware,
+)
+from repro.data.datasets import DATASET_NAMES, dataset_summary, load_dataset
+
+_MINING_WORKLOADS = ("apriori", "eclat", "fpgrowth", "treemining")
+_WORKLOADS = _MINING_WORKLOADS + ("webgraph", "lz77")
+
+
+def _workload_factory(name: str, support: float):
+    if name == "apriori":
+        from repro.workloads.fpm.apriori import AprioriWorkload
+
+        return lambda: AprioriWorkload(min_support=support, max_len=3)
+    if name == "eclat":
+        from repro.workloads.fpm.eclat import EclatWorkload
+
+        return lambda: EclatWorkload(min_support=support, max_len=3)
+    if name == "fpgrowth":
+        from repro.workloads.fpm.fpgrowth import FPGrowthWorkload
+
+        return lambda: FPGrowthWorkload(min_support=support, max_len=3)
+    if name == "treemining":
+        from repro.workloads.fpm.treemining import TreeMiningWorkload
+
+        return lambda: TreeMiningWorkload(min_support=support, max_len=2)
+    from repro.workloads.compression.distributed import CompressionWorkload
+
+    if name == "lz77":
+        return lambda: CompressionWorkload("lz77", max_chain=8)
+    return lambda: CompressionWorkload("webgraph")
+
+
+def _default_workload(kind: str) -> str:
+    return {"tree": "treemining", "graph": "webgraph", "text": "apriori"}[kind]
+
+
+def _runner(args) -> StrategyRunner:
+    if getattr(args, "file", None):
+        if not getattr(args, "kind", None):
+            raise SystemExit("--file requires --kind {tree,graph,text}")
+        from repro.data.io import load_dataset_file
+
+        dataset = load_dataset_file(args.kind, args.file)
+    else:
+        dataset = load_dataset(args.dataset, size_scale=args.scale, seed=args.seed)
+    workload = args.workload or _default_workload(dataset.kind)
+    if workload in _MINING_WORKLOADS and dataset.kind == "tree" and workload != "treemining":
+        raise SystemExit("tree datasets require the treemining workload")
+    unit_rate = {"webgraph": 5e3, "lz77": 2e4}.get(workload, 5e4)
+    return StrategyRunner(
+        dataset=dataset,
+        workload_factory=_workload_factory(workload, args.support),
+        unit_rate=unit_rate,
+        seed=args.seed,
+    )
+
+
+def _strategies(workload: str) -> list[Strategy]:
+    placement = "similar" if workload in ("webgraph", "lz77") else "representative"
+    alpha = ALPHA_COMPRESSION if placement == "similar" else ALPHA_FPM
+    return [
+        STRATIFIED.with_placement(placement),
+        HET_AWARE.with_placement(placement),
+        het_energy_aware(alpha).with_placement(placement),
+        RANDOM,
+    ]
+
+
+def cmd_datasets(args) -> int:
+    for name in DATASET_NAMES:
+        row = dataset_summary(load_dataset(name, size_scale=args.scale, seed=args.seed))
+        print(row)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    runner = _runner(args)
+    workload = args.workload or _default_workload(runner.dataset.kind)
+    rows = runner.compare(_strategies(workload), [args.partitions])
+    print(format_table(rows, f"{runner.dataset.name} / {workload} / {args.partitions} partitions"))
+    return 0
+
+
+def cmd_frontier(args) -> int:
+    runner = _runner(args)
+    workload = args.workload or _default_workload(runner.dataset.kind)
+    placement = "similar" if workload in ("webgraph", "lz77") else "representative"
+    alphas = [float(a) for a in args.alphas.split(",")]
+    points = []
+    for alpha in alphas:
+        report = runner.run(
+            Strategy(name=f"a={alpha}", alpha=alpha, placement=placement),
+            args.partitions,
+        )
+        points.append((alpha, report.makespan_s, report.total_dirty_energy_j / 1e3))
+    base = runner.run(STRATIFIED.with_placement(placement), args.partitions)
+    baseline = (base.makespan_s, base.total_dirty_energy_j / 1e3)
+    print(format_frontier(points, baseline=baseline, title=f"frontier: {runner.dataset.name}"))
+    print()
+    print(
+        ascii_scatter(
+            [(m, e) for _, m, e in points],
+            baseline=baseline,
+            title=f"time–energy frontier ({runner.dataset.name}, {args.partitions} partitions)",
+        )
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    runner = _runner(args)
+    _pp, prep = runner.prepared_for(args.partitions)
+    print(f"progressive sampling on {runner.dataset.name}: sizes {prep.profiling.sample_sizes}")
+    for node_id, (model, r2) in enumerate(
+        zip(prep.profiling.models, prep.profiling.r_squared)
+    ):
+        k = prep.optimizer.dirty_coeffs[node_id]
+        print(
+            f"  node {node_id}: f(x) = {model.slope:.6f}·x + {model.intercept:.3f}"
+            f"  (r²={r2:.3f}, dirty power k={k:.1f} W)"
+        )
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.bench.reproduce import reproduce_all
+
+    written = reproduce_all(args.out, size_scale=args.scale, seed=args.seed)
+    print(f"wrote {len(written)} artefacts to {args.out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pareto framework for data analytics on heterogeneous systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, dataset: bool = True) -> None:
+        p.add_argument("--scale", type=float, default=1.0, help="dataset size scale")
+        p.add_argument("--seed", type=int, default=0)
+        if dataset:
+            p.add_argument("--dataset", choices=DATASET_NAMES, default="rcv1")
+            p.add_argument(
+                "--file", default=None, help="load a flat-text dataset file instead"
+            )
+            p.add_argument(
+                "--kind",
+                choices=("tree", "graph", "text"),
+                default=None,
+                help="domain of --file",
+            )
+            p.add_argument("--workload", choices=_WORKLOADS, default=None)
+            p.add_argument("--support", type=float, default=0.1)
+            p.add_argument("--partitions", type=int, default=8)
+
+    p = sub.add_parser("datasets", help="print the Table-I dataset inventory")
+    common(p, dataset=False)
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("compare", help="compare partitioning strategies")
+    common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("frontier", help="sweep alpha and print the frontier")
+    common(p)
+    p.add_argument(
+        "--alphas",
+        default="1.0,0.999,0.998,0.997,0.995,0.99,0.9,0.0",
+        help="comma-separated alpha values",
+    )
+    p.set_defaults(func=cmd_frontier)
+
+    p = sub.add_parser("profile", help="print learned per-node time models")
+    common(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate every paper artefact into a directory"
+    )
+    common(p, dataset=False)
+    p.add_argument("--out", default="results", help="output directory")
+    p.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

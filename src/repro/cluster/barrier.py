@@ -1,0 +1,81 @@
+"""Global barrier on the KV store's atomic fetch-and-increment.
+
+The paper separates pivot extraction, sketch generation, sketch
+clustering and final partitioning with global barriers built from
+Redis's atomic increment. :class:`KVBarrier` reproduces that protocol:
+each party increments an arrival counter and spins until the counter
+reaches the party count for the current generation. Generations make
+the barrier reusable, as successive pipeline phases require.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.kvstore.store import KeyValueStore, StoreError
+
+
+@dataclass
+class KVBarrier:
+    """A reusable p-party barrier over one store instance.
+
+    Parameters
+    ----------
+    store:
+        The store hosting the barrier keys (the paper places this on a
+        dedicated master node).
+    parties:
+        Number of participants that must arrive before any may pass.
+    name:
+        Key namespace, so multiple barriers can coexist.
+    poll_interval_s:
+        Spin-wait sleep between counter reads.
+    timeout_s:
+        Abort threshold; a lost participant otherwise hangs everyone.
+    """
+
+    store: KeyValueStore
+    parties: int
+    name: str = "barrier"
+    poll_interval_s: float = 0.0005
+    timeout_s: float = 30.0
+    _local_generation: dict[int, int] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.parties <= 0:
+            raise StoreError("barrier needs at least one party")
+
+    def _arrivals_key(self, generation: int) -> str:
+        return f"{self.name}:gen:{generation}:arrivals"
+
+    def wait(self, party_id: int | None = None) -> int:
+        """Arrive at the barrier; blocks until all parties arrive.
+
+        Returns the generation number that was completed. ``party_id``
+        (when given) tracks per-party generations so one thread can
+        participate in successive phases.
+        """
+        with self._lock:
+            key = 0 if party_id is None else party_id
+            generation = self._local_generation.get(key, 0)
+            self._local_generation[key] = generation + 1
+        arrivals = self.store.incr(self._arrivals_key(generation))
+        if arrivals > self.parties:
+            raise StoreError(
+                f"barrier {self.name!r} generation {generation} overflowed: "
+                f"{arrivals} arrivals for {self.parties} parties"
+            )
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            count = self.store.get(self._arrivals_key(generation))
+            if count is not None and count >= self.parties:
+                return generation
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"barrier {self.name!r} generation {generation}: "
+                    f"{count}/{self.parties} arrived within {self.timeout_s}s"
+                )
+            time.sleep(self.poll_interval_s)

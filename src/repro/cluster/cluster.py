@@ -1,0 +1,128 @@
+"""Cluster assembly and the paper's 4-type preset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.cluster.node import Node, NodeType, PAPER_NODE_TYPES
+from repro.energy.traces import GOOGLE_DC_LOCATIONS, EnergyTrace, generate_trace
+from repro.kvstore.client import ClusterClient
+
+
+@dataclass
+class Cluster:
+    """An ordered collection of nodes plus their shared KV middleware."""
+
+    nodes: list[Node]
+    kv: ClusterClient = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        ids = [n.node_id for n in self.nodes]
+        if ids != list(range(len(self.nodes))):
+            raise ValueError("node ids must be dense 0..p-1 in order")
+        self.kv = ClusterClient(num_nodes=len(self.nodes))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __getitem__(self, idx: int) -> Node:
+        return self.nodes[idx]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def speed_factors(self) -> np.ndarray:
+        return np.array([n.speed_factor for n in self.nodes], dtype=np.float64)
+
+    def dirty_power_coefficients(self, window_s: float | None = None) -> np.ndarray:
+        return np.array(
+            [n.dirty_power_coefficient(window_s) for n in self.nodes], dtype=np.float64
+        )
+
+    def fastest_node(self) -> Node:
+        """The node the paper would pick as master (type 1 first)."""
+        return max(self.nodes, key=lambda n: (n.speed_factor, -n.node_id))
+
+    def master_nodes(self) -> tuple[Node, Node]:
+        """Two distinct coordinator nodes (barrier master + clustering
+        master), fastest types first, per the paper's Section IV."""
+        if len(self.nodes) == 1:
+            return self.nodes[0], self.nodes[0]
+        ranked = sorted(self.nodes, key=lambda n: (-n.speed_factor, n.node_id))
+        return ranked[0], ranked[1]
+
+
+def paper_cluster(
+    num_nodes: int,
+    *,
+    trace_duration_s: float = 6 * 3600.0,
+    trace_resolution_s: float = 60.0,
+    seed: int = 0,
+    task_overhead_s: float = 0.5,
+    node_types: Sequence[NodeType] = PAPER_NODE_TYPES,
+    allow_negative_dirty: bool = False,
+) -> Cluster:
+    """Build the paper's emulated heterogeneous cluster.
+
+    Nodes cycle through the four machine types (speeds 4x..1x) and the
+    four Google DC locations, so an 8-node cluster has two of each type
+    as in the paper's 8-partition configuration. Each node gets an
+    independent seeded weather realisation.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    nodes = []
+    for i in range(num_nodes):
+        ntype = node_types[i % len(node_types)]
+        location = GOOGLE_DC_LOCATIONS[i % len(GOOGLE_DC_LOCATIONS)]
+        trace = generate_trace(
+            location,
+            duration_s=trace_duration_s,
+            resolution_s=trace_resolution_s,
+            seed=seed * 1009 + i,
+        )
+        nodes.append(
+            Node(
+                node_id=i,
+                node_type=ntype,
+                trace=trace,
+                task_overhead_s=task_overhead_s,
+                allow_negative_dirty=allow_negative_dirty,
+            )
+        )
+    return Cluster(nodes=nodes)
+
+
+def homogeneous_cluster(
+    num_nodes: int,
+    *,
+    speed_factor: float = 1.0,
+    cores: int = 2,
+    trace_duration_s: float = 6 * 3600.0,
+    seed: int = 0,
+    task_overhead_s: float = 0.5,
+) -> Cluster:
+    """A control cluster with identical nodes (Wang et al.'s setting)."""
+    ntype = NodeType(type_id=0, speed_factor=speed_factor, cores=cores)
+    location = GOOGLE_DC_LOCATIONS[0]
+    nodes = [
+        Node(
+            node_id=i,
+            node_type=ntype,
+            trace=generate_trace(
+                location, duration_s=trace_duration_s, resolution_s=60.0, seed=seed * 1009 + i
+            ),
+            task_overhead_s=task_overhead_s,
+        )
+        for i in range(num_nodes)
+    ]
+    return Cluster(nodes=nodes)

@@ -1,0 +1,242 @@
+"""Execution engines: run partitioned workloads on the emulated cluster.
+
+Two engines share one interface:
+
+- :class:`SimulatedEngine` runs each partition's workload in-process to
+  obtain its real output and work-unit count, then derives runtime
+  deterministically as ``overhead/speed + work_units/(unit_rate·speed)``
+  — the busy-loop emulation in closed form. This is the default for
+  experiments: results are exactly reproducible.
+- :class:`ProcessPoolEngine` executes partitions on a real
+  ``ProcessPoolExecutor`` and scales measured wall time by the node's
+  speed factor, exercising genuine parallel execution (pickling,
+  process startup, concurrent scheduling).
+
+Both account dirty energy against each node's green trace over the
+node's busy interval and support multiple partitions queued on one node
+(executed back to back, as a slow node with two chunks would).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.workloads.base import Workload, WorkloadResult
+
+
+@dataclass
+class TaskResult:
+    """One partition's execution record."""
+
+    partition_id: int
+    node_id: int
+    start_s: float
+    runtime_s: float
+    work_units: float
+    dirty_energy_j: float
+    energy_j: float
+    output: Any = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.runtime_s
+
+
+@dataclass
+class JobResult:
+    """Aggregate outcome of one distributed job."""
+
+    tasks: list[TaskResult]
+    makespan_s: float
+    total_dirty_energy_j: float
+    total_energy_j: float
+    merged_output: Any = None
+
+    def node_busy_times(self) -> dict[int, float]:
+        """Total busy seconds per node."""
+        busy: dict[int, float] = {}
+        for t in self.tasks:
+            busy[t.node_id] = busy.get(t.node_id, 0.0) + t.runtime_s
+        return busy
+
+    def partition_sizes_by_node(self) -> dict[int, float]:
+        work: dict[int, float] = {}
+        for t in self.tasks:
+            work[t.node_id] = work.get(t.node_id, 0.0) + t.work_units
+        return work
+
+
+def _validate_assignment(cluster: Cluster, partitions: Sequence, assignment: Sequence[int]) -> None:
+    if len(partitions) != len(assignment):
+        raise ValueError("one node assignment required per partition")
+    if len(partitions) == 0:
+        raise ValueError("job needs at least one partition")
+    for node in assignment:
+        if not 0 <= node < cluster.num_nodes:
+            raise ValueError(f"assignment references unknown node {node}")
+
+
+class ExecutionEngine(abc.ABC):
+    """Common engine machinery: scheduling, energy accounting, merging."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    @abc.abstractmethod
+    def _execute_partitions(
+        self, workload: Workload, partitions: Sequence[Sequence[Any]], assignment: Sequence[int]
+    ) -> list[tuple[WorkloadResult, float]]:
+        """Return ``(result, runtime_s)`` per partition, in order."""
+
+    def profile(self, workload: Workload, records: Sequence[Any], node_id: int) -> float:
+        """Runtime of ``workload`` on ``records`` at ``node_id`` — the
+        probe the progressive-sampling estimator uses."""
+        (pair,) = self._execute_partitions(workload, [records], [node_id])
+        return pair[1]
+
+    def profile_all_nodes(
+        self, workload: Workload, records: Sequence[Any]
+    ) -> list[float]:
+        """Runtime of one sample on *every* node (node-id order).
+
+        Default: one probe per node. Engines whose runtime is a pure
+        function of work units override this to run the workload once.
+        """
+        return [
+            self.profile(workload, records, node_id)
+            for node_id in range(self.cluster.num_nodes)
+        ]
+
+    def run_job(
+        self,
+        workload: Workload,
+        partitions: Sequence[Sequence[Any]],
+        assignment: Sequence[int] | None = None,
+        start_offset_s: float = 0.0,
+    ) -> JobResult:
+        """Execute one partition per assignment slot and aggregate.
+
+        ``assignment=None`` maps partition ``i`` to node
+        ``i % num_nodes``. Multiple partitions on a node run back to
+        back; all nodes start at ``start_offset_s`` (global barrier
+        semantics — pass the previous phase's makespan so energy is
+        billed against the right window of each node's green trace).
+        Reported start/end times and the makespan are relative to the
+        offset.
+        """
+        if assignment is None:
+            assignment = [i % self.cluster.num_nodes for i in range(len(partitions))]
+        if start_offset_s < 0:
+            raise ValueError("start_offset_s must be non-negative")
+        _validate_assignment(self.cluster, partitions, assignment)
+
+        executed = self._execute_partitions(workload, partitions, assignment)
+
+        tasks: list[TaskResult] = []
+        node_clock: dict[int, float] = {}
+        for pid, ((result, runtime), node_id) in enumerate(zip(executed, assignment)):
+            node = self.cluster[node_id]
+            start = node_clock.get(node_id, 0.0)
+            dirty = node.accountant.measured_dirty_energy(
+                runtime, start_s=start_offset_s + start
+            )
+            energy = node.accountant.power.energy_joules(runtime)
+            tasks.append(
+                TaskResult(
+                    partition_id=pid,
+                    node_id=node_id,
+                    start_s=start,
+                    runtime_s=runtime,
+                    work_units=result.work_units,
+                    dirty_energy_j=dirty,
+                    energy_j=energy,
+                    output=result.output,
+                    stats=result.stats,
+                )
+            )
+            node_clock[node_id] = start + runtime
+
+        makespan = max(node_clock.values())
+        merged = workload.merge([WorkloadResult(t.work_units, t.output, t.stats) for t in tasks])
+        return JobResult(
+            tasks=tasks,
+            makespan_s=makespan,
+            total_dirty_energy_j=sum(t.dirty_energy_j for t in tasks),
+            total_energy_j=sum(t.energy_j for t in tasks),
+            merged_output=merged,
+        )
+
+
+class SimulatedEngine(ExecutionEngine):
+    """Deterministic engine: runtime = overhead/speed + work/(rate·speed).
+
+    Parameters
+    ----------
+    unit_rate:
+        Work units per second a speed-1 node processes. Calibrates the
+        absolute time scale only; strategy comparisons are invariant.
+    """
+
+    def __init__(self, cluster: Cluster, unit_rate: float = 5e4):
+        super().__init__(cluster)
+        if unit_rate <= 0:
+            raise ValueError("unit_rate must be positive")
+        self.unit_rate = unit_rate
+
+    def _execute_partitions(self, workload, partitions, assignment):
+        out = []
+        for records, node_id in zip(partitions, assignment):
+            result = workload.run(records)
+            node = self.cluster[node_id]
+            runtime = node.runtime_for_work(result.work_units, self.unit_rate)
+            out.append((result, runtime))
+        return out
+
+    def profile_all_nodes(self, workload, records):
+        # Simulated runtime is work/(rate·speed): run the workload once
+        # and derive every node's runtime from the same work count.
+        result = workload.run(list(records))
+        return [
+            node.runtime_for_work(result.work_units, self.unit_rate)
+            for node in self.cluster
+        ]
+
+
+def _pool_task(args: tuple[Workload, Sequence[Any]]) -> tuple[WorkloadResult, float]:
+    workload, records = args
+    t0 = time.perf_counter()
+    result = workload.run(records)
+    return result, time.perf_counter() - t0
+
+
+class ProcessPoolEngine(ExecutionEngine):
+    """Real parallel engine: wall time scaled by each node's speed factor.
+
+    Partition workloads run concurrently in worker processes (one per
+    partition, capped at ``max_workers``); the measured wall time of
+    each task is divided by the assigned node's speed factor and the
+    per-task overhead added, emulating the busy-loop slowdown without
+    burning cores on spin loops.
+    """
+
+    def __init__(self, cluster: Cluster, max_workers: int | None = None):
+        super().__init__(cluster)
+        self.max_workers = max_workers
+
+    def _execute_partitions(self, workload, partitions, assignment):
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            raw = list(pool.map(_pool_task, [(workload, list(p)) for p in partitions]))
+        out = []
+        for (result, wall), node_id in zip(raw, assignment):
+            node = self.cluster[node_id]
+            runtime = node.task_overhead_s / node.speed_factor + wall / node.speed_factor
+            out.append((result, runtime))
+        return out

@@ -1,0 +1,152 @@
+"""Fault injection: node failures mid-job with recovery re-execution.
+
+The paper's Section II motivates heterogeneity with node churn ("nodes
+fail periodically and are often replaced with upgraded hardware").
+:class:`FaultInjectingEngine` wraps the simulated engine and kills
+chosen nodes at chosen times: a partition running on a failed node is
+lost (its energy is still charged — wasted work costs real joules) and
+re-executed, after a detection latency, on the surviving node that can
+finish it earliest. Because the framework's partitions are independent
+(Savasere phase 1, per-partition compression), recovery is exactly
+re-running the lost partitions — no global restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.engines import JobResult, TaskResult
+from repro.workloads.base import Workload, WorkloadResult
+
+
+@dataclass
+class FaultInjectingEngine:
+    """Simulated engine with scheduled node failures.
+
+    Parameters
+    ----------
+    cluster:
+        Target cluster.
+    fail_at:
+        ``node_id → failure time (s)``; the node stops executing at
+        that instant and never recovers within the job.
+    unit_rate:
+        Work units per second at speed 1 (as in the simulated engine).
+    detection_latency_s:
+        Delay before a lost partition can restart elsewhere.
+    """
+
+    cluster: Cluster
+    fail_at: dict[int, float] = field(default_factory=dict)
+    unit_rate: float = 5e4
+    detection_latency_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.unit_rate <= 0:
+            raise ValueError("unit_rate must be positive")
+        if self.detection_latency_s < 0:
+            raise ValueError("detection_latency_s must be non-negative")
+        for node, t in self.fail_at.items():
+            if not 0 <= node < self.cluster.num_nodes:
+                raise ValueError(f"unknown node {node}")
+            if t < 0:
+                raise ValueError("failure times must be non-negative")
+        if len(self.fail_at) >= self.cluster.num_nodes:
+            raise ValueError("at least one node must survive")
+
+    def _runtime_on(self, node_id: int, work_units: float) -> float:
+        return self.cluster[node_id].runtime_for_work(work_units, self.unit_rate)
+
+    def run_job(
+        self,
+        workload: Workload,
+        partitions: Sequence[Sequence[Any]],
+        assignment: Sequence[int] | None = None,
+    ) -> JobResult:
+        """Execute with failures; lost partitions re-run on survivors."""
+        p = self.cluster.num_nodes
+        if assignment is None:
+            assignment = [i % p for i in range(len(partitions))]
+        if len(assignment) != len(partitions):
+            raise ValueError("one node assignment required per partition")
+
+        results: list[WorkloadResult] = [workload.run(list(part)) for part in partitions]
+
+        clock = {node: 0.0 for node in range(p)}
+        tasks: list[TaskResult] = []
+        orphans: list[tuple[int, float]] = []  # (partition id, loss time)
+
+        def charge(node_id: int, pid: int, start: float, runtime: float, result, wasted: bool):
+            node = self.cluster[node_id]
+            tasks.append(
+                TaskResult(
+                    partition_id=pid,
+                    node_id=node_id,
+                    start_s=start,
+                    runtime_s=runtime,
+                    work_units=0.0 if wasted else result.work_units,
+                    dirty_energy_j=node.accountant.measured_dirty_energy(runtime, start_s=start),
+                    energy_j=node.accountant.power.energy_joules(runtime),
+                    output=None if wasted else result.output,
+                    stats={"wasted": True} if wasted else dict(result.stats),
+                )
+            )
+
+        # First pass: nominal execution until each node's failure time.
+        for pid, node_id in enumerate(assignment):
+            if not 0 <= node_id < p:
+                raise ValueError(f"assignment references unknown node {node_id}")
+            fail_time = self.fail_at.get(node_id)
+            start = clock[node_id]
+            if fail_time is not None and start >= fail_time:
+                orphans.append((pid, fail_time))
+                continue
+            runtime = self._runtime_on(node_id, results[pid].work_units)
+            if fail_time is not None and start + runtime > fail_time:
+                # Partial run wasted; node burns power until it dies.
+                charge(node_id, pid, start, fail_time - start, results[pid], wasted=True)
+                clock[node_id] = fail_time
+                orphans.append((pid, fail_time))
+                continue
+            charge(node_id, pid, start, runtime, results[pid], wasted=False)
+            clock[node_id] = start + runtime
+
+        # Recovery pass: earliest-finish-time assignment on survivors.
+        survivors = [n for n in range(p) if n not in self.fail_at]
+        for pid, lost_at in sorted(orphans, key=lambda o: o[1]):
+            ready = lost_at + self.detection_latency_s
+
+            def finish_time(node_id: int) -> float:
+                start = max(clock[node_id], ready)
+                return start + self._runtime_on(node_id, results[pid].work_units)
+
+            best = min(survivors, key=finish_time)
+            start = max(clock[best], ready)
+            runtime = self._runtime_on(best, results[pid].work_units)
+            charge(best, pid, start, runtime, results[pid], wasted=False)
+            clock[best] = start + runtime
+
+        makespan = max(
+            (t.end_s for t in tasks), default=0.0
+        )
+        merged = workload.merge(
+            [
+                WorkloadResult(t.work_units, t.output, t.stats)
+                for t in tasks
+                if not t.stats.get("wasted")
+            ]
+        )
+        return JobResult(
+            tasks=tasks,
+            makespan_s=makespan,
+            total_dirty_energy_j=sum(t.dirty_energy_j for t in tasks),
+            total_energy_j=sum(t.energy_j for t in tasks),
+            merged_output=merged,
+        )
+
+    @staticmethod
+    def wasted_energy_j(job: JobResult) -> float:
+        """Energy burnt on runs that were lost to failures."""
+        return sum(t.energy_j for t in job.tasks if t.stats.get("wasted"))

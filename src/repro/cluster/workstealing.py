@@ -1,0 +1,173 @@
+"""Work-stealing baseline scheduler (paper Section I).
+
+The paper's motivation argues the "typical solution" — work stealing
+(Blumofe & Leiserson) — does not suit distributed analytics because
+these workloads are sensitive to the *payload*, not just the size, of
+the data: a stolen chunk is processed as its own unit, so for
+partition-based mining every steal effectively creates a new partition,
+growing the locally-frequent candidate union and with it the global
+pruning cost. Stealing also pays data-movement costs the planner-based
+approach avoids.
+
+:class:`WorkStealingScheduler` simulates chunk-level stealing over the
+emulated cluster: partitions are split into fixed-size chunks, each
+node drains its own queue and, when idle, steals the tail chunk of the
+most-loaded victim, paying a latency plus per-item transfer cost. The
+chunk outputs are merged with the workload's own ``merge``, so the
+candidate-inflation effect is measured, not assumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.engines import JobResult, TaskResult
+from repro.workloads.base import Workload, WorkloadResult
+
+
+@dataclass
+class StealEvent:
+    """One successful steal, for diagnostics."""
+
+    time_s: float
+    thief: int
+    victim: int
+    chunk_items: int
+
+
+@dataclass
+class WorkStealingScheduler:
+    """Chunk-level work stealing on an emulated heterogeneous cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Target cluster (speeds drive per-chunk runtimes).
+    unit_rate:
+        Work units per second at speed 1 (match the engine used for
+        the planner-based comparison).
+    chunk_size:
+        Items per chunk; the stealing granularity.
+    steal_latency_s:
+        Fixed cost per steal (coordination round trip).
+    transfer_s_per_item:
+        Data-movement cost per stolen item, charged to the thief.
+    chunk_overhead_s:
+        Per-chunk dispatch cost at unit speed (much smaller than a
+        partition launch — chunks run inside an already-started task).
+    """
+
+    cluster: Cluster
+    unit_rate: float = 5e4
+    chunk_size: int = 32
+    steal_latency_s: float = 0.05
+    transfer_s_per_item: float = 0.001
+    chunk_overhead_s: float = 0.005
+    events: list[StealEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.unit_rate <= 0:
+            raise ValueError("unit_rate must be positive")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.steal_latency_s < 0 or self.transfer_s_per_item < 0:
+            raise ValueError("costs must be non-negative")
+
+    def _chunks(self, partition: Sequence[Any]) -> list[list[Any]]:
+        return [
+            list(partition[i : i + self.chunk_size])
+            for i in range(0, len(partition), self.chunk_size)
+        ]
+
+    def run_job(
+        self,
+        workload: Workload,
+        partitions: Sequence[Sequence[Any]],
+        assignment: Sequence[int] | None = None,
+    ) -> JobResult:
+        """Execute with stealing; returns the same JobResult shape as
+        the planner-based engines, so comparisons are one-liners."""
+        p = self.cluster.num_nodes
+        if assignment is None:
+            assignment = [i % p for i in range(len(partitions))]
+        if len(assignment) != len(partitions):
+            raise ValueError("one node assignment required per partition")
+
+        queues: list[list[list[Any]]] = [[] for _ in range(p)]
+        for part, node in zip(partitions, assignment):
+            if not 0 <= node < p:
+                raise ValueError(f"assignment references unknown node {node}")
+            queues[node].extend(self._chunks(part))
+
+        self.events = []
+        # Event-driven greedy simulation: a heap of (ready_time, node).
+        clock = [0.0] * p
+        heap = [(0.0, node) for node in range(p)]
+        heapq.heapify(heap)
+        tasks: list[TaskResult] = []
+        partials: list[WorkloadResult] = []
+        pid = 0
+
+        def remaining_items(node: int) -> int:
+            return sum(len(c) for c in queues[node])
+
+        while heap:
+            now, node = heapq.heappop(heap)
+            chunk: list[Any] | None = None
+            overhead = 0.0
+            if queues[node]:
+                chunk = queues[node].pop(0)
+            else:
+                victim = max(range(p), key=remaining_items)
+                if remaining_items(victim) == 0:
+                    continue  # global queue drained; this node retires
+                chunk = queues[victim].pop()  # steal the tail chunk
+                overhead = self.steal_latency_s + self.transfer_s_per_item * len(chunk)
+                self.events.append(
+                    StealEvent(time_s=now, thief=node, victim=victim, chunk_items=len(chunk))
+                )
+            result = workload.run(chunk)
+            node_obj = self.cluster[node]
+            speed = node_obj.speed_factor
+            runtime = (
+                overhead
+                + self.chunk_overhead_s / speed
+                + result.work_units / (self.unit_rate * speed)
+            )
+            start = now
+            dirty = node_obj.accountant.measured_dirty_energy(runtime, start_s=start)
+            energy = node_obj.accountant.power.energy_joules(runtime)
+            tasks.append(
+                TaskResult(
+                    partition_id=pid,
+                    node_id=node,
+                    start_s=start,
+                    runtime_s=runtime,
+                    work_units=result.work_units,
+                    dirty_energy_j=dirty,
+                    energy_j=energy,
+                    output=result.output,
+                    stats=result.stats,
+                )
+            )
+            partials.append(result)
+            pid += 1
+            clock[node] = now + runtime
+            heapq.heappush(heap, (clock[node], node))
+
+        makespan = max(clock) if tasks else 0.0
+        merged = workload.merge(partials)
+        return JobResult(
+            tasks=tasks,
+            makespan_s=makespan,
+            total_dirty_energy_j=sum(t.dirty_energy_j for t in tasks),
+            total_energy_j=sum(t.energy_j for t in tasks),
+            merged_output=merged,
+        )
+
+    @property
+    def num_steals(self) -> int:
+        return len(self.events)

@@ -1,0 +1,89 @@
+"""Carbon-budget planning on top of the Pareto optimizer.
+
+The paper anticipates providers exposing a *carbon budget* per job
+(Section III-B: "in future we expect such information will be provided
+by the data center service provider in terms of carbon ratio guarantee
+or carbon budget"). This module turns that interface around: given a
+dirty-energy budget in joules, find the **fastest** plan that respects
+it.
+
+Because predicted dirty energy is monotone non-increasing as α falls
+(scalarization property, tested in ``tests/core/test_optimizer.py``),
+the planner bisects α between the fastest plan (α=1) and the greenest
+plan (α=0) to the budget boundary, then returns the fastest feasible
+plan found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.optimizer import ParetoOptimizer, PartitionPlan
+
+
+class BudgetInfeasibleError(ValueError):
+    """Raised when even the greenest plan exceeds the dirty budget."""
+
+
+@dataclass
+class CarbonBudgetPlanner:
+    """Finds the fastest partition plan within a dirty-energy budget.
+
+    Parameters
+    ----------
+    optimizer:
+        A configured :class:`ParetoOptimizer` (models + k coefficients).
+    tolerance:
+        Bisection width on α at which to stop refining.
+    """
+
+    optimizer: ParetoOptimizer
+    tolerance: float = 1e-4
+
+    def plan(
+        self,
+        total_items: int,
+        max_dirty_energy_j: float,
+        min_items: int = 0,
+    ) -> PartitionPlan:
+        """The fastest plan with predicted dirty energy ≤ the budget.
+
+        Raises
+        ------
+        BudgetInfeasibleError
+            If the α=0 (pure energy) plan already exceeds the budget.
+        ValueError
+            For non-positive budgets or item counts.
+        """
+        if max_dirty_energy_j <= 0:
+            raise ValueError("budget must be positive")
+
+        fastest = self.optimizer.solve(total_items, 1.0, min_items=min_items)
+        if fastest.predicted_dirty_energy_j <= max_dirty_energy_j:
+            return fastest
+
+        greenest = self.optimizer.solve(total_items, 0.0, min_items=min_items)
+        if greenest.predicted_dirty_energy_j > max_dirty_energy_j:
+            raise BudgetInfeasibleError(
+                f"greenest plan needs {greenest.predicted_dirty_energy_j:.1f} J, "
+                f"budget is {max_dirty_energy_j:.1f} J"
+            )
+
+        lo, hi = 0.0, 1.0  # lo feasible, hi infeasible
+        best = greenest
+        while hi - lo > self.tolerance:
+            mid = 0.5 * (lo + hi)
+            plan = self.optimizer.solve(total_items, mid, min_items=min_items)
+            if plan.predicted_dirty_energy_j <= max_dirty_energy_j:
+                lo = mid
+                if plan.predicted_makespan_s < best.predicted_makespan_s:
+                    best = plan
+            else:
+                hi = mid
+        return best
+
+    def headroom(self, plan: PartitionPlan, max_dirty_energy_j: float) -> float:
+        """Unused budget fraction in [0, 1] (negative = over budget)."""
+        if max_dirty_energy_j <= 0:
+            raise ValueError("budget must be positive")
+        return 1.0 - plan.predicted_dirty_energy_j / max_dirty_energy_j

@@ -1,0 +1,352 @@
+"""The public API: :class:`ParetoPartitioner` wires the five components.
+
+Typical use::
+
+    from repro.cluster import paper_cluster, SimulatedEngine
+    from repro.core import ParetoPartitioner, HET_AWARE
+    from repro.data import load_dataset
+    from repro.workloads.fpm import AprioriWorkload
+
+    dataset = load_dataset("rcv1")
+    cluster = paper_cluster(8)
+    engine = SimulatedEngine(cluster)
+    pp = ParetoPartitioner(engine, kind=dataset.kind)
+    report = pp.execute(dataset.items, AprioriWorkload(0.05), HET_AWARE)
+    print(report.makespan_s, report.total_dirty_energy_j)
+
+``prepare`` (stratify + profile + build optimizer) is the one-time cost
+the paper amortizes over repeated runs; it can be reused across
+strategies and α values on the same dataset/workload pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.cluster.engines import ExecutionEngine, JobResult
+from repro.core.heterogeneity import ProfilingReport, ProgressiveSampler
+from repro.core.optimizer import ParetoOptimizer, PartitionPlan
+from repro.core.partitioner import (
+    equal_sizes,
+    random_partitions,
+    representative_partitions,
+    round_robin_partitions,
+    similar_partitions,
+)
+from repro.core.strategies import Strategy
+from repro.kvstore.serializers import deserialize_item, serialize_item
+from repro.stratify.stratifier import Stratification, Stratifier
+from repro.workloads.base import Workload
+from repro.workloads.fpm.apriori import AprioriWorkload, CandidateCountWorkload
+from repro.workloads.fpm.eclat import EclatWorkload
+from repro.workloads.fpm.fpgrowth import FPGrowthWorkload
+from repro.workloads.fpm.treemining import TreeMiningWorkload
+
+
+@dataclass
+class PreparedInput:
+    """Cached one-time work: stratification, profiling, optimizer."""
+
+    items: list[Any]
+    stratification: Stratification
+    profiling: ProfilingReport
+    optimizer: ParetoOptimizer
+    window_s: float | None = None
+
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class RunReport:
+    """Everything one strategy execution produced."""
+
+    strategy: Strategy
+    plan: PartitionPlan
+    job: JobResult
+    kv_round_trips: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan_s(self) -> float:
+        return self.job.makespan_s
+
+    @property
+    def total_dirty_energy_j(self) -> float:
+        return self.job.total_dirty_energy_j
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.job.total_energy_j
+
+    @property
+    def merged_output(self) -> Any:
+        return self.job.merged_output
+
+
+@dataclass
+class ParetoPartitioner:
+    """Heterogeneity- and energy-aware partitioning framework.
+
+    Parameters
+    ----------
+    engine:
+        Execution engine over the target cluster (profiling and the
+        final job run on the same engine).
+    kind:
+        Dataset domain for the stratifier
+        (``"tree" | "graph" | "text" | "set"``).
+    num_strata / num_hashes / top_l:
+        Stratifier configuration (see :class:`Stratifier`).
+    sample_fractions:
+        Progressive-sampling fractions; defaults to the paper's
+        0.05%–2% schedule.
+    energy_window_s:
+        Horizon over which mean green power is estimated for ``k_i``
+        (None = whole trace).
+    stage_via_kv:
+        Round-trip final partitions through the KV middleware before
+        execution, as the paper's implementation does.
+    min_partition_items:
+        Lower bound per het-aware partition; ``None`` auto-derives it
+        from the smallest profiled sample (don't extrapolate the time
+        model below its fitted range), ``0`` is the paper's
+        unconstrained LP.
+    """
+
+    engine: ExecutionEngine
+    kind: str
+    num_strata: int = 16
+    num_hashes: int = 48
+    top_l: int = 3
+    sample_fractions: Sequence[float] | None = None
+    energy_window_s: float | None = None
+    stage_via_kv: bool = True
+    min_partition_items: int | None = None
+    seed: int = 0
+
+    def stratifier(self) -> Stratifier:
+        return Stratifier(
+            kind=self.kind,
+            num_strata=self.num_strata,
+            num_hashes=self.num_hashes,
+            top_l=self.top_l,
+            seed=self.seed,
+        )
+
+    # -- pipeline stages ---------------------------------------------------
+
+    def prepare(self, items: Sequence[Any], workload: Workload) -> PreparedInput:
+        """Stratify, profile and build the optimizer (the one-time cost)."""
+        items = list(items)
+        stratification = self.stratifier().stratify(items)
+        sampler_kwargs = {}
+        if self.sample_fractions is not None:
+            sampler_kwargs["fractions"] = tuple(self.sample_fractions)
+        sampler = ProgressiveSampler(engine=self.engine, seed=self.seed, **sampler_kwargs)
+        profiling = sampler.profile(workload, items, stratification)
+        dirty = self.engine.cluster.dirty_power_coefficients(self.energy_window_s)
+        optimizer = ParetoOptimizer(models=profiling.models, dirty_coeffs=dirty)
+        return PreparedInput(
+            items=items,
+            stratification=stratification,
+            profiling=profiling,
+            optimizer=optimizer,
+            window_s=self.energy_window_s,
+        )
+
+    def plan(self, prepared: PreparedInput, strategy: Strategy) -> PartitionPlan:
+        """Partition sizes for a strategy: LP when het-aware, else equal."""
+        n = prepared.num_items
+        if strategy.alpha is None:
+            return prepared.optimizer.equal_split_plan(n)
+        min_items = self.min_partition_items
+        if min_items is None:
+            # Auto: never plan a partition smaller than the smallest
+            # sample the time model was fitted on.
+            min_items = min(prepared.profiling.sample_sizes)
+        min_items = min(min_items, n // prepared.optimizer.num_partitions)
+        return prepared.optimizer.solve(n, strategy.alpha, min_items=min_items)
+
+    def place(
+        self,
+        prepared: PreparedInput,
+        strategy: Strategy,
+        plan: PartitionPlan,
+    ) -> list[np.ndarray]:
+        """Index arrays per partition, per the strategy's placement."""
+        rng = np.random.default_rng(self.seed + 17)
+        sizes = plan.sizes
+        if strategy.placement == "representative":
+            return representative_partitions(prepared.stratification, sizes, rng)
+        if strategy.placement == "similar":
+            return similar_partitions(prepared.stratification, sizes)
+        if strategy.placement == "random":
+            return random_partitions(prepared.num_items, sizes, rng)
+        return round_robin_partitions(prepared.num_items, plan.num_partitions)
+
+    def _materialize(
+        self, prepared: PreparedInput, indices: list[np.ndarray]
+    ) -> tuple[list[list[Any]], int]:
+        """Turn index partitions into record partitions, optionally via KV."""
+        partitions = [[prepared.items[i] for i in idx] for idx in indices]
+        round_trips = 0
+        if self.stage_via_kv:
+            kv = self.engine.cluster.kv
+            before = kv.total_round_trips()
+            staged: list[list[Any]] = []
+            for pid, records in enumerate(partitions):
+                node = pid % self.engine.cluster.num_nodes
+                kv.put_partition(
+                    node, pid, [serialize_item(self.kind, r) for r in records]
+                )
+                fetched = kv.get_partition(node, pid)
+                staged.append([deserialize_item(self.kind, f) for f in fetched])
+            round_trips = kv.total_round_trips() - before
+            partitions = staged
+        return partitions, round_trips
+
+    def measure_frontier(
+        self,
+        items: Sequence[Any],
+        workload: Workload,
+        alphas: Sequence[float],
+        placement: str = "representative",
+        prepared: PreparedInput | None = None,
+    ) -> list[tuple[float, RunReport]]:
+        """Execute the α sweep and return measured ``(α, report)`` pairs.
+
+        The paper's Figure-5 primitive as a library call: one
+        preparation pass, one execution per α (two-phase for mining
+        workloads), in the given order. Feed the resulting
+        ``(makespan, dirty energy)`` pairs to
+        :func:`repro.core.pareto.pareto_front` or
+        :func:`repro.bench.plotting.ascii_scatter`.
+        """
+        if not alphas:
+            raise ValueError("need at least one alpha")
+        if prepared is None:
+            prepared = self.prepare(items, workload)
+        is_mining = isinstance(
+            workload,
+            (AprioriWorkload, EclatWorkload, FPGrowthWorkload, TreeMiningWorkload),
+        )
+        out: list[tuple[float, RunReport]] = []
+        for alpha in alphas:
+            strategy = Strategy(name=f"alpha={alpha}", alpha=alpha, placement=placement)
+            if is_mining:
+                report = self.execute_fpm(items, workload, strategy, prepared=prepared)
+            else:
+                report = self.execute(items, workload, strategy, prepared=prepared)
+            out.append((alpha, report))
+        return out
+
+    def plan_for_budget(
+        self, prepared: PreparedInput, max_dirty_energy_j: float
+    ) -> PartitionPlan:
+        """The fastest plan whose predicted dirty energy fits a budget
+        (Section III-B's provider carbon budget, inverted).
+
+        Raises :class:`~repro.core.budget.BudgetInfeasibleError` when
+        even the greenest plan overdraws.
+        """
+        from repro.core.budget import CarbonBudgetPlanner
+
+        min_items = self.min_partition_items
+        if min_items is None:
+            min_items = min(prepared.profiling.sample_sizes)
+        min_items = min(min_items, prepared.num_items // prepared.optimizer.num_partitions)
+        planner = CarbonBudgetPlanner(prepared.optimizer)
+        return planner.plan(
+            prepared.num_items, max_dirty_energy_j, min_items=min_items
+        )
+
+    # -- end-to-end execution -------------------------------------------------
+
+    def execute(
+        self,
+        items: Sequence[Any],
+        workload: Workload,
+        strategy: Strategy,
+        prepared: PreparedInput | None = None,
+    ) -> RunReport:
+        """Full pipeline: prepare (or reuse), plan, place, stage, run."""
+        if prepared is None:
+            prepared = self.prepare(items, workload)
+        plan = self.plan(prepared, strategy)
+        indices = self.place(prepared, strategy, plan)
+        partitions, round_trips = self._materialize(prepared, indices)
+        job = self.engine.run_job(workload, partitions)
+        return RunReport(strategy=strategy, plan=plan, job=job, kv_round_trips=round_trips)
+
+    def execute_fpm(
+        self,
+        items: Sequence[Any],
+        workload: Workload,
+        strategy: Strategy,
+        prepared: PreparedInput | None = None,
+    ) -> RunReport:
+        """Two-phase Savasere execution for mining workloads.
+
+        Phase 1 mines locally; phase 2 counts the candidate union for
+        global pruning. Reported makespan/energy sum both barrier-
+        separated phases, as in the paper's evaluation.
+        """
+        if not isinstance(
+            workload,
+            (AprioriWorkload, EclatWorkload, FPGrowthWorkload, TreeMiningWorkload),
+        ):
+            raise TypeError("execute_fpm requires a local-mining workload")
+        if prepared is None:
+            prepared = self.prepare(items, workload)
+        plan = self.plan(prepared, strategy)
+        indices = self.place(prepared, strategy, plan)
+        partitions, round_trips = self._materialize(prepared, indices)
+
+        local_job = self.engine.run_job(workload, partitions)
+        candidates = local_job.merged_output
+
+        if isinstance(workload, TreeMiningWorkload):
+            from repro.workloads.fpm.treemining import trees_to_pivot_sets
+
+            count_parts = [trees_to_pivot_sets(p)[0] for p in partitions]
+        else:
+            count_parts = partitions
+        total = sum(len(p) for p in partitions)
+        counter = CandidateCountWorkload(
+            candidates=sorted(candidates),
+            min_support=workload.min_support,
+            total_transactions=total,
+        )
+        # Phase 2 runs after the phase-1 barrier: bill its energy against
+        # the later window of each node's green trace.
+        count_job = self.engine.run_job(
+            counter, count_parts, start_offset_s=local_job.makespan_s
+        )
+        frequent = count_job.merged_output
+
+        combined = JobResult(
+            tasks=local_job.tasks + count_job.tasks,
+            makespan_s=local_job.makespan_s + count_job.makespan_s,
+            total_dirty_energy_j=local_job.total_dirty_energy_j
+            + count_job.total_dirty_energy_j,
+            total_energy_j=local_job.total_energy_j + count_job.total_energy_j,
+            merged_output=frequent,
+        )
+        return RunReport(
+            strategy=strategy,
+            plan=plan,
+            job=combined,
+            kv_round_trips=round_trips,
+            extra={
+                "candidates": len(candidates),
+                "frequent": len(frequent),
+                "false_positives": len(candidates) - len(frequent),
+                "local_makespan_s": local_job.makespan_s,
+                "count_makespan_s": count_job.makespan_s,
+            },
+        )

@@ -1,0 +1,113 @@
+"""Pareto dominance, frontiers, and α-sweeps (paper Sections III-D, V-D).
+
+A solution is Pareto-optimal when no objective can improve without
+degrading another. The scalarized LP produces one frontier point per
+α; sweeping α from 1 to 0 traces the time–energy tradeoff curve of
+Figure 5, on which the equal-split stratified baseline sits strictly
+above (not Pareto-efficient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.optimizer import ParetoOptimizer, PartitionPlan
+
+#: The α grid used for Figure 5-style sweeps: dense near 1.0 where the
+#: interesting tradeoffs live (the objectives have different scales).
+DEFAULT_ALPHA_GRID: tuple[float, ...] = (
+    1.0, 0.9999, 0.9995, 0.999, 0.995, 0.99, 0.97, 0.95, 0.9, 0.8, 0.6, 0.4, 0.2, 0.0,
+)
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the time–energy tradeoff curve."""
+
+    alpha: float
+    makespan_s: float
+    dirty_energy_j: float
+
+    def objectives(self) -> tuple[float, float]:
+        return (self.makespan_s, self.dirty_energy_j)
+
+
+def pareto_dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is at least as good as ``b`` in every objective
+    and strictly better in at least one (minimization)."""
+    a_arr = np.asarray(a, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError("objective vectors must have equal length")
+    return bool((a_arr <= b_arr).all() and (a_arr < b_arr).any())
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the non-dominated points, in input order."""
+    pts = [np.asarray(p, dtype=np.float64) for p in points]
+    front: list[int] = []
+    for i, p in enumerate(pts):
+        dominated = any(
+            pareto_dominates(q, p) for j, q in enumerate(pts) if j != i
+        )
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def is_pareto_efficient(point: Sequence[float], others: Iterable[Sequence[float]]) -> bool:
+    """True when no point in ``others`` dominates ``point``."""
+    return not any(pareto_dominates(q, point) for q in others)
+
+
+def frontier_sweep(
+    optimizer: ParetoOptimizer,
+    total_items: int,
+    alphas: Sequence[float] = DEFAULT_ALPHA_GRID,
+) -> list[tuple[ParetoPoint, PartitionPlan]]:
+    """Solve the LP for each α and return predicted frontier points.
+
+    Points use the optimizer's *predicted* makespan/energy; the bench
+    harness re-measures them by executing the plans.
+    """
+    out: list[tuple[ParetoPoint, PartitionPlan]] = []
+    for alpha in alphas:
+        plan = optimizer.solve(total_items, alpha)
+        out.append(
+            (
+                ParetoPoint(
+                    alpha=alpha,
+                    makespan_s=plan.predicted_makespan_s,
+                    dirty_energy_j=plan.predicted_dirty_energy_j,
+                ),
+                plan,
+            )
+        )
+    return out
+
+
+def hypervolume_2d(points: Sequence[Sequence[float]], reference: Sequence[float]) -> float:
+    """Dominated hypervolume of a 2-D minimization front w.r.t. a
+    reference point — a scalar frontier-quality metric for tests.
+
+    Points outside the reference box contribute nothing.
+    """
+    ref_x, ref_y = float(reference[0]), float(reference[1])
+    front_idx = pareto_front(points)
+    front = sorted(
+        (
+            (float(points[i][0]), float(points[i][1]))
+            for i in front_idx
+            if points[i][0] <= ref_x and points[i][1] <= ref_y
+        ),
+    )
+    volume = 0.0
+    prev_y = ref_y
+    for x, y in front:
+        if y < prev_y:
+            volume += (ref_x - x) * (prev_y - y)
+            prev_y = y
+    return volume

@@ -1,0 +1,166 @@
+"""Data partitioner (paper Section III-E): place items per the plan.
+
+Two stratification-driven placements plus two naive baselines:
+
+- :func:`representative_partitions` — every partition is a stratified
+  sample without replacement of the whole payload (Cochran), so each
+  partition mirrors the global distribution. Used for skew-sensitive
+  mining workloads.
+- :func:`similar_partitions` — items are ordered by stratum id and cut
+  into consecutive chunks of the planned sizes, giving each partition
+  minimal entropy. Used for compression workloads.
+- :func:`random_partitions` / :func:`round_robin_partitions` — the
+  naive baselines the paper's related work compares against.
+
+All functions return lists of index arrays forming an exact partition
+of ``range(n)`` whose sizes match the plan.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.stratify.stratifier import Stratification
+
+
+def equal_sizes(total_items: int, num_partitions: int) -> np.ndarray:
+    """Equal split with remainders spread over the first partitions."""
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    if total_items < 0:
+        raise ValueError("total_items must be non-negative")
+    base, extra = divmod(total_items, num_partitions)
+    return np.array(
+        [base + (1 if i < extra else 0) for i in range(num_partitions)], dtype=np.int64
+    )
+
+
+def _check_sizes(total_items: int, sizes: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(sizes, dtype=np.int64)
+    if (arr < 0).any():
+        raise ValueError("sizes must be non-negative")
+    if int(arr.sum()) != total_items:
+        raise ValueError(f"sizes sum to {int(arr.sum())}, expected {total_items}")
+    return arr
+
+
+def representative_partitions(
+    stratification: Stratification,
+    sizes: Sequence[int],
+    rng: np.random.Generator | None = None,
+) -> list[np.ndarray]:
+    """Split every stratum across partitions proportionally to ``sizes``.
+
+    Per-stratum quotas are rounded with the largest-remainder method;
+    leftover slots are filled greedily from the partitions' deficits so
+    the final sizes match the plan exactly while staying as close to
+    proportional-within-stratum as integer arithmetic allows.
+    """
+    n = stratification.num_items
+    arr = _check_sizes(n, sizes)
+    rng = rng or np.random.default_rng(0)
+    p = arr.size
+    fractions = arr / max(n, 1)
+
+    buckets: list[list[np.ndarray]] = [[] for _ in range(p)]
+    filled = np.zeros(p, dtype=np.int64)
+    leftovers: list[int] = []
+    for members in stratification.strata:
+        members = np.array(members, copy=True)
+        rng.shuffle(members)
+        quotas = fractions * members.size
+        counts = np.floor(quotas).astype(np.int64)
+        remainder = members.size - int(counts.sum())
+        order = np.argsort(-(quotas - counts))
+        for idx in order[:remainder]:
+            counts[idx] += 1
+        offset = 0
+        for part in range(p):
+            take = int(counts[part])
+            if take:
+                buckets[part].append(members[offset : offset + take])
+                filled[part] += take
+                offset += take
+        leftovers.extend(members[offset:].tolist())
+
+    # Rebalance: move surplus items into deficit partitions.
+    deficit = arr - filled
+    surplus_pool: list[int] = list(leftovers)
+    for part in range(p):
+        if deficit[part] < 0:
+            # Give back the most recently added items.
+            give = -int(deficit[part])
+            while give > 0 and buckets[part]:
+                chunk = buckets[part][-1]
+                if chunk.size <= give:
+                    surplus_pool.extend(chunk.tolist())
+                    buckets[part].pop()
+                    give -= chunk.size
+                else:
+                    surplus_pool.extend(chunk[-give:].tolist())
+                    buckets[part][-1] = chunk[:-give]
+                    give = 0
+            deficit[part] = 0
+    for part in range(p):
+        need = int(deficit[part])
+        if need > 0:
+            take, surplus_pool = surplus_pool[:need], surplus_pool[need:]
+            if take:
+                buckets[part].append(np.array(take, dtype=np.int64))
+    if surplus_pool:
+        raise AssertionError("partition rebalancing failed to place all items")
+
+    out: list[np.ndarray] = []
+    for part in range(p):
+        idx = (
+            np.concatenate(buckets[part])
+            if buckets[part]
+            else np.empty(0, dtype=np.int64)
+        )
+        if idx.size != arr[part]:
+            raise AssertionError("partition size mismatch after rebalancing")
+        out.append(np.sort(idx))
+    return out
+
+
+def similar_partitions(
+    stratification: Stratification, sizes: Sequence[int]
+) -> list[np.ndarray]:
+    """Order items by stratum and cut consecutive chunks of the planned
+    sizes (the paper's low-entropy placement for compression)."""
+    n = stratification.num_items
+    arr = _check_sizes(n, sizes)
+    ordered = stratification.ordered_by_stratum()
+    out: list[np.ndarray] = []
+    offset = 0
+    for size in arr:
+        out.append(ordered[offset : offset + int(size)])
+        offset += int(size)
+    return out
+
+
+def random_partitions(
+    total_items: int, sizes: Sequence[int], rng: np.random.Generator | None = None
+) -> list[np.ndarray]:
+    """Uniform random placement (the de-facto baseline of Section I)."""
+    arr = _check_sizes(total_items, sizes)
+    rng = rng or np.random.default_rng(0)
+    perm = rng.permutation(total_items)
+    out: list[np.ndarray] = []
+    offset = 0
+    for size in arr:
+        out.append(np.sort(perm[offset : offset + int(size)]))
+        offset += int(size)
+    return out
+
+
+def round_robin_partitions(total_items: int, num_partitions: int) -> list[np.ndarray]:
+    """Deal items round-robin (the other de-facto baseline)."""
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    return [
+        np.arange(start, total_items, num_partitions, dtype=np.int64)
+        for start in range(num_partitions)
+    ]

@@ -1,0 +1,172 @@
+"""Plain-text dataset I/O for bringing real data into the framework.
+
+The synthetic generators stand in for the paper's datasets, but a
+downstream user with the real thing (or any other corpus) needs a way
+in. These loaders cover the standard flat-text shapes:
+
+- **transactions / documents**: one record per line, whitespace-
+  separated non-negative integer item ids — the classic FIMI /
+  market-basket layout. Works for text corpora too (token ids).
+- **adjacency**: either ``src: dst dst …`` adjacency lines or a two-
+  column ``src dst`` edge list (auto-detected); vertex ids must be
+  dense 0..n-1.
+- **trees**: one tree per line, ``parent₀ … parentₙ | label₀ … labelₙ``
+  with ``-1`` marking the root.
+
+Each loader has a matching writer so datasets round-trip, and
+:func:`load_dataset_file` wraps any of them into a
+:class:`~repro.data.datasets.Dataset` ready for the framework.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+from repro.data.datasets import Dataset
+from repro.stratify.prufer import prufer_sequence
+
+
+def _read_lines(path) -> list[str]:
+    text = pathlib.Path(path).read_text()
+    return [line.strip() for line in text.splitlines() if line.strip() and not line.lstrip().startswith("#")]
+
+
+# -- transactions / documents -------------------------------------------------
+
+
+def load_transactions(path) -> list[list[int]]:
+    """Load one whitespace-separated integer record per line."""
+    records = []
+    for lineno, line in enumerate(_read_lines(path), start=1):
+        try:
+            items = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: non-integer token") from exc
+        if any(i < 0 for i in items):
+            raise ValueError(f"{path}:{lineno}: negative item id")
+        records.append(items)
+    if not records:
+        raise ValueError(f"{path}: no records")
+    return records
+
+
+def save_transactions(records: Sequence[Sequence[int]], path) -> None:
+    """Inverse of :func:`load_transactions`."""
+    lines = [" ".join(str(int(i)) for i in rec) for rec in records]
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+# -- adjacency -----------------------------------------------------------------
+
+
+def load_adjacency(path) -> list[list[int]]:
+    """Load adjacency lists from ``src: dst…`` lines or an edge list."""
+    lines = _read_lines(path)
+    if not lines:
+        raise ValueError(f"{path}: no records")
+    if ":" in lines[0]:
+        entries: dict[int, list[int]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            head, _, tail = line.partition(":")
+            try:
+                src = int(head)
+                dsts = [int(tok) for tok in tail.split()]
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: bad adjacency line") from exc
+            if src in entries:
+                raise ValueError(f"{path}:{lineno}: duplicate source {src}")
+            entries[src] = sorted(set(dsts))
+        n = max(entries) + 1
+        adjacency = [entries.get(v, []) for v in range(n)]
+    else:
+        edges: list[tuple[int, int]] = []
+        max_v = -1
+        for lineno, line in enumerate(lines, start=1):
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'src dst'")
+            u, v = int(parts[0]), int(parts[1])
+            if u < 0 or v < 0:
+                raise ValueError(f"{path}:{lineno}: negative vertex id")
+            edges.append((u, v))
+            max_v = max(max_v, u, v)
+        adjacency = [[] for _ in range(max_v + 1)]
+        for u, v in edges:
+            adjacency[u].append(v)
+        adjacency = [sorted(set(a)) for a in adjacency]
+    for v, nbrs in enumerate(adjacency):
+        if any(not 0 <= u < len(adjacency) for u in nbrs):
+            raise ValueError(f"vertex {v} links outside the id range")
+    return adjacency
+
+
+def save_adjacency(adjacency: Sequence[Sequence[int]], path) -> None:
+    """Write ``src: dst…`` adjacency lines (one per vertex)."""
+    lines = [
+        f"{v}: " + " ".join(str(int(u)) for u in nbrs)
+        for v, nbrs in enumerate(adjacency)
+    ]
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+# -- trees ----------------------------------------------------------------------
+
+
+def load_trees(path) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Load ``parent… | label…`` tree lines; validates each tree."""
+    trees = []
+    for lineno, line in enumerate(_read_lines(path), start=1):
+        head, sep, tail = line.partition("|")
+        if not sep:
+            raise ValueError(f"{path}:{lineno}: missing '|' separator")
+        try:
+            parent = tuple(int(tok) for tok in head.split())
+            labels = tuple(int(tok) for tok in tail.split())
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: non-integer token") from exc
+        if len(parent) != len(labels):
+            raise ValueError(f"{path}:{lineno}: parent/label length mismatch")
+        prufer_sequence(parent)  # raises on malformed trees
+        trees.append((parent, labels))
+    if not trees:
+        raise ValueError(f"{path}: no records")
+    return trees
+
+
+def save_trees(trees: Sequence[tuple[Sequence[int], Sequence[int]]], path) -> None:
+    """Inverse of :func:`load_trees`."""
+    lines = []
+    for parent, labels in trees:
+        lines.append(
+            " ".join(str(int(p)) for p in parent)
+            + " | "
+            + " ".join(str(int(l)) for l in labels)
+        )
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+# -- dataset wrapper --------------------------------------------------------------
+
+
+def load_dataset_file(kind: str, path, name: str | None = None) -> Dataset:
+    """Load a flat-text file as a framework-ready :class:`Dataset`.
+
+    ``kind`` selects the parser: ``"text"`` (transactions/documents),
+    ``"graph"`` (adjacency) or ``"tree"``.
+    """
+    if kind == "text":
+        items = load_transactions(path)
+    elif kind == "graph":
+        items = load_adjacency(path)
+    elif kind == "tree":
+        items = load_trees(path)
+    else:
+        raise ValueError(f"unknown kind {kind!r}")
+    return Dataset(
+        name=name or pathlib.Path(path).stem,
+        kind=kind,
+        items=items,
+        ground_truth=None,
+        meta={"source": str(path), "items": len(items)},
+    )

@@ -1,0 +1,78 @@
+"""IBM-style synthetic market-basket transactions.
+
+Used by the Apriori unit tests and ablation benches: transactions are
+built from a pool of *planted* potentially-frequent itemsets (the
+classic Agrawal–Srikant generator scheme), so tests can assert that
+mining recovers the plants at the right support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TransactionConfig:
+    """Generator knobs for planted-itemset transactions."""
+
+    num_transactions: int = 1000
+    num_items: int = 200
+    num_patterns: int = 10
+    pattern_length_mean: float = 4.0
+    transaction_length_mean: float = 10.0
+    corruption: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_transactions <= 0 or self.num_items <= 0:
+            raise ValueError("sizes must be positive")
+        if self.num_patterns <= 0:
+            raise ValueError("num_patterns must be positive")
+        if not 0.0 <= self.corruption < 1.0:
+            raise ValueError("corruption must be in [0, 1)")
+
+
+@dataclass
+class TransactionData:
+    """Generated transactions plus the planted pattern pool."""
+
+    transactions: list[list[int]]
+    patterns: list[tuple[int, ...]]
+
+    def records(self) -> list[list[int]]:
+        return self.transactions
+
+
+def generate_transactions(config: TransactionConfig) -> TransactionData:
+    """Generate transactions by sampling and corrupting planted patterns."""
+    rng = np.random.default_rng(config.seed)
+    patterns: list[tuple[int, ...]] = []
+    for _ in range(config.num_patterns):
+        length = max(2, int(rng.poisson(config.pattern_length_mean)))
+        length = min(length, config.num_items)
+        items = rng.choice(config.num_items, size=length, replace=False)
+        patterns.append(tuple(sorted(int(i) for i in items)))
+
+    # Pattern popularity is exponentially skewed, as in the IBM generator.
+    weights = rng.exponential(1.0, size=config.num_patterns)
+    weights /= weights.sum()
+
+    transactions: list[list[int]] = []
+    for _ in range(config.num_transactions):
+        target_len = max(1, int(rng.poisson(config.transaction_length_mean)))
+        basket: set[int] = set()
+        while len(basket) < target_len:
+            pattern = patterns[int(rng.choice(config.num_patterns, p=weights))]
+            for item in pattern:
+                # Corruption drops items from the pattern instance.
+                if rng.random() >= config.corruption:
+                    basket.add(item)
+            if len(basket) >= target_len or rng.random() < 0.2:
+                break
+        if not basket:
+            basket.add(int(rng.integers(0, config.num_items)))
+        transactions.append(sorted(basket))
+
+    return TransactionData(transactions=transactions, patterns=patterns)

@@ -1,0 +1,107 @@
+"""Clear-sky solar model and cloud attenuation (PVWATTS substitute).
+
+Implements ``GE(t) = p(w(t)) · B(t)`` from Goiri et al. (the model the
+paper adopts):
+
+- ``B(t)``: photovoltaic output under ideal sunny conditions, from solar
+  geometry (declination, hour angle, solar elevation) and a simple
+  air-mass attenuation of the solar constant, scaled by the panel's
+  rated DC capacity and derate factor (the PVWATTS panel parameters).
+- ``p(w)``: the Kasten–Czeplak attenuation ``1 − 0.75·w**3.4`` for cloud
+  cover fraction ``w ∈ [0, 1]``.
+
+All functions are vectorised over time arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Solar constant at top of atmosphere (W/m^2).
+SOLAR_CONSTANT = 1353.0
+#: Standard test-condition irradiance that yields rated DC output.
+STC_IRRADIANCE = 1000.0
+
+
+def solar_declination(day_of_year: np.ndarray | float) -> np.ndarray:
+    """Solar declination in radians (Cooper's equation)."""
+    day = np.asarray(day_of_year, dtype=np.float64)
+    return np.deg2rad(23.45) * np.sin(2.0 * np.pi * (284.0 + day) / 365.0)
+
+
+def solar_elevation(latitude_deg: float, day_of_year, hour) -> np.ndarray:
+    """Solar elevation angle in radians for local solar ``hour`` (0–24)."""
+    lat = np.deg2rad(latitude_deg)
+    decl = solar_declination(day_of_year)
+    hour_angle = np.deg2rad(15.0 * (np.asarray(hour, dtype=np.float64) - 12.0))
+    sin_el = np.sin(lat) * np.sin(decl) + np.cos(lat) * np.cos(decl) * np.cos(hour_angle)
+    return np.arcsin(np.clip(sin_el, -1.0, 1.0))
+
+
+def clear_sky_irradiance(latitude_deg: float, day_of_year, hour) -> np.ndarray:
+    """Ground-level clear-sky irradiance (W/m^2) via air-mass attenuation.
+
+    Uses the Meinel model ``I = S · 0.7 ** (AM ** 0.678)`` with
+    ``AM = 1 / sin(elevation)``; zero when the sun is below the horizon.
+    """
+    el = solar_elevation(latitude_deg, day_of_year, hour)
+    sin_el = np.atleast_1d(np.sin(el)).astype(np.float64)
+    irradiance = np.zeros_like(sin_el)
+    up = sin_el > 1e-3
+    air_mass = 1.0 / sin_el[up]
+    irradiance[up] = SOLAR_CONSTANT * np.power(0.7, np.power(air_mass, 0.678)) * sin_el[up]
+    return irradiance.reshape(np.shape(el))
+
+
+def cloud_attenuation(cloud_cover: np.ndarray | float) -> np.ndarray:
+    """Kasten–Czeplak factor ``p(w) = 1 − 0.75·w**3.4``; 1 = clear sky."""
+    w = np.clip(np.asarray(cloud_cover, dtype=np.float64), 0.0, 1.0)
+    return 1.0 - 0.75 * np.power(w, 3.4)
+
+
+@dataclass(frozen=True)
+class SolarPanel:
+    """PVWATTS-style panel specification.
+
+    Parameters
+    ----------
+    rated_dc_watts:
+        Nameplate DC capacity at standard test conditions.
+    derate:
+        System derate factor (inverter + wiring + soiling); PVWATTS's
+        classic default is 0.77.
+    """
+
+    rated_dc_watts: float = 500.0
+    derate: float = 0.77
+
+    def __post_init__(self) -> None:
+        if self.rated_dc_watts <= 0:
+            raise ValueError("rated_dc_watts must be positive")
+        if not 0.0 < self.derate <= 1.0:
+            raise ValueError("derate must be in (0, 1]")
+
+    def output_watts(self, irradiance: np.ndarray | float) -> np.ndarray:
+        """AC output for a given plane irradiance (linear in irradiance)."""
+        irr = np.asarray(irradiance, dtype=np.float64)
+        return self.rated_dc_watts * self.derate * np.clip(irr, 0.0, None) / STC_IRRADIANCE
+
+
+@dataclass(frozen=True)
+class SolarModel:
+    """Combined ``GE(t) = p(w(t)) · B(t)`` generator for one site."""
+
+    latitude_deg: float
+    panel: SolarPanel = SolarPanel()
+
+    def ideal_power(self, day_of_year, hour) -> np.ndarray:
+        """``B(t)``: panel output under clear skies."""
+        return self.panel.output_watts(
+            clear_sky_irradiance(self.latitude_deg, day_of_year, hour)
+        )
+
+    def power(self, day_of_year, hour, cloud_cover) -> np.ndarray:
+        """``GE(t)`` with the given cloud-cover fractions."""
+        return self.ideal_power(day_of_year, hour) * cloud_attenuation(cloud_cover)

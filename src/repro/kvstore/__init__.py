@@ -1,0 +1,35 @@
+"""In-process Redis-like key-value store substrate.
+
+The paper implements its partitioning middleware on top of Redis (one
+server instance per cluster node, non-cluster mode, manual placement).
+This subpackage provides an in-process equivalent with the features the
+framework actually exercises:
+
+- string / list / hash values and atomic counters (``incr`` — the
+  paper's fetch-and-increment barrier primitive),
+- a length-prefixed raw-bytes codec for storing whole partitions as a
+  single list entry (single get/put per partition, the paper's batching
+  data structure),
+- request pipelining that batches commands up to a preset width before
+  flushing (Redis pipelining),
+- a client that routes keys to per-node store instances.
+"""
+
+from repro.kvstore.store import KeyValueStore, StoreError, WrongTypeError
+from repro.kvstore.codec import encode_records, decode_records, encode_record, decode_record
+from repro.kvstore.pipeline import Pipeline
+from repro.kvstore.client import ClusterClient
+from repro.kvstore.network import NetworkModel
+
+__all__ = [
+    "KeyValueStore",
+    "StoreError",
+    "WrongTypeError",
+    "Pipeline",
+    "ClusterClient",
+    "NetworkModel",
+    "encode_records",
+    "decode_records",
+    "encode_record",
+    "decode_record",
+]

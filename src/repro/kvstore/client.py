@@ -1,0 +1,98 @@
+"""Cluster client: manual key→node placement over per-node stores.
+
+The paper deliberately avoids Redis cluster mode because consistent
+hashing would defeat the point — the framework must place each partition
+on the node the optimizer chose. :class:`ClusterClient` holds one
+:class:`~repro.kvstore.store.KeyValueStore` per node and routes by an
+explicit node index, exactly like the paper's middleware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.kvstore.codec import decode_records, encode_records
+from repro.kvstore.pipeline import Pipeline
+from repro.kvstore.store import KeyValueStore, StoreError
+
+#: Key layout used for partition payloads on each node's store.
+PARTITION_KEY = "partition:{pid}"
+META_KEY = "partition:{pid}:meta"
+
+
+@dataclass
+class ClusterClient:
+    """Routes commands to per-node store instances by explicit node id."""
+
+    num_nodes: int
+    pipeline_width: int = 128
+    stores: list[KeyValueStore] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise StoreError("cluster must have at least one node")
+        if not self.stores:
+            self.stores = [KeyValueStore(node_id=i) for i in range(self.num_nodes)]
+        if len(self.stores) != self.num_nodes:
+            raise StoreError("stores list must match num_nodes")
+
+    def store_for(self, node: int) -> KeyValueStore:
+        """The store instance hosted on ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise StoreError(f"node {node} out of range [0, {self.num_nodes})")
+        return self.stores[node]
+
+    def pipeline_for(self, node: int) -> Pipeline:
+        """A fresh pipeline bound to ``node``'s store."""
+        return Pipeline(self.store_for(node), width=self.pipeline_width)
+
+    # -- partition payload movement ---------------------------------------
+
+    def put_partition(self, node: int, pid: int, records: Sequence[Iterable[int]]) -> int:
+        """Encode ``records`` and push them to ``node`` as one pipelined
+        list write. Returns the number of records stored."""
+        store = self.store_for(node)
+        key = PARTITION_KEY.format(pid=pid)
+        store.delete(key)
+        blobs = encode_records(records)
+        with Pipeline(store, width=self.pipeline_width) as pipe:
+            for blob in blobs:
+                pipe.rpush(key, blob)
+        store.hset(META_KEY.format(pid=pid), "count", len(blobs))
+        store.hset(META_KEY.format(pid=pid), "node", node)
+        return len(blobs)
+
+    def get_partition(self, node: int, pid: int) -> list[list[int]]:
+        """Fetch a whole partition in a single LRANGE round trip."""
+        store = self.store_for(node)
+        blobs = store.lrange(PARTITION_KEY.format(pid=pid))
+        return decode_records(blobs)
+
+    def get_item(self, node: int, pid: int, index: int) -> list[int] | None:
+        """Fetch one record of a partition without moving the rest."""
+        store = self.store_for(node)
+        blob = store.lindex(PARTITION_KEY.format(pid=pid), index)
+        if blob is None:
+            return None
+        from repro.kvstore.codec import decode_record
+
+        return decode_record(blob)
+
+    def partition_size(self, node: int, pid: int) -> int:
+        """Number of records in a stored partition."""
+        return self.store_for(node).llen(PARTITION_KEY.format(pid=pid))
+
+    def drop_partition(self, node: int, pid: int) -> None:
+        """Remove a partition and its metadata from ``node``."""
+        store = self.store_for(node)
+        store.delete(PARTITION_KEY.format(pid=pid), META_KEY.format(pid=pid))
+
+    def total_round_trips(self) -> int:
+        """Aggregate round-trip count across all node stores."""
+        return sum(s.stats.round_trips for s in self.stores)
+
+    def flushall(self) -> None:
+        """Clear every node's store."""
+        for store in self.stores:
+            store.flushall()

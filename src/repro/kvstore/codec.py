@@ -1,0 +1,93 @@
+"""Length-prefixed raw-bytes codec for partition payloads.
+
+The paper avoids millions of per-item get/put requests by storing a data
+item as a sequence of raw bytes whose *first four bytes contain the
+length of the data object*, and keeping a list of such sequences per
+partition. That gives single-round-trip access to a whole partition
+while still allowing indexed access to individual items.
+
+This module implements exactly that framing. Items are arbitrary
+iterables of non-negative integers (the universal representation the
+stratifier produces for trees, graphs and text: pivot-id sets, adjacency
+lists, token-id sets). Integers are packed little-endian uint32 after
+the 4-byte length header, so a record is ``[len:u32][payload:u32 * n]``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_HEADER = struct.Struct("<I")
+
+#: Maximum number of elements a single record may carry (len header is u32).
+MAX_RECORD_ITEMS = 0xFFFFFFFF
+
+
+def encode_record(items: Iterable[int]) -> bytes:
+    """Encode one data item as ``[count:u32][item:u32]*``.
+
+    Raises
+    ------
+    ValueError
+        If any element is negative or exceeds the uint32 range.
+    """
+    arr = np.asarray(list(items), dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() > MAX_RECORD_ITEMS):
+        raise ValueError("record elements must fit in uint32")
+    payload = arr.astype("<u4").tobytes()
+    return _HEADER.pack(arr.size) + payload
+
+
+def decode_record(blob: bytes) -> list[int]:
+    """Decode one record produced by :func:`encode_record`."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("record too short for length header")
+    (count,) = _HEADER.unpack_from(blob, 0)
+    expected = _HEADER.size + 4 * count
+    if len(blob) != expected:
+        raise ValueError(f"record length mismatch: header says {count} items, blob has {len(blob)} bytes")
+    return np.frombuffer(blob, dtype="<u4", offset=_HEADER.size).astype(int).tolist()
+
+
+def encode_records(records: Sequence[Iterable[int]]) -> list[bytes]:
+    """Encode a whole partition worth of items (one blob per item)."""
+    return [encode_record(rec) for rec in records]
+
+
+def decode_records(blobs: Iterable[bytes]) -> list[list[int]]:
+    """Decode a list of record blobs back into integer lists."""
+    return [decode_record(blob) for blob in blobs]
+
+
+def encode_partition(records: Sequence[Iterable[int]]) -> bytes:
+    """Concatenate a partition's records into a single byte string.
+
+    Useful when the partition should move as one ``SET``/``GET`` rather
+    than a list of blobs; records remain individually addressable through
+    the length headers.
+    """
+    return b"".join(encode_record(rec) for rec in records)
+
+
+def decode_partition(blob: bytes) -> list[list[int]]:
+    """Invert :func:`encode_partition`, walking the length headers."""
+    out: list[list[int]] = []
+    offset = 0
+    n = len(blob)
+    while offset < n:
+        if n - offset < _HEADER.size:
+            raise ValueError("trailing bytes too short for a record header")
+        (count,) = _HEADER.unpack_from(blob, offset)
+        end = offset + _HEADER.size + 4 * count
+        if end > n:
+            raise ValueError("record payload truncated")
+        out.append(
+            np.frombuffer(blob, dtype="<u4", count=count, offset=offset + _HEADER.size)
+            .astype(int)
+            .tolist()
+        )
+        offset = end
+    return out

@@ -1,0 +1,101 @@
+"""Request pipelining for the key-value store.
+
+Redis pipelining batches commands client-side and ships them in one
+round trip; the paper reports this "substantially improves response
+times". :class:`Pipeline` queues commands until either the preset
+pipeline width is reached (auto-flush) or :meth:`execute` is called.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.kvstore.store import KeyValueStore, StoreError
+
+
+@dataclass
+class Pipeline:
+    """Client-side command buffer bound to one store instance.
+
+    Parameters
+    ----------
+    store:
+        Target store.
+    width:
+        Auto-flush threshold: when this many commands are queued the
+        pipeline flushes itself. ``0`` disables auto-flush (explicit
+        :meth:`execute` only).
+    """
+
+    store: KeyValueStore
+    width: int = 128
+    _queue: list[tuple[str, tuple, dict]] = field(default_factory=list, repr=False)
+    _results: list[Any] = field(default_factory=list, repr=False)
+    flushes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise StoreError("pipeline width must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def _enqueue(self, name: str, *args: Any, **kwargs: Any) -> "Pipeline":
+        self._queue.append((name, args, kwargs))
+        if self.width and len(self._queue) >= self.width:
+            self._flush()
+        return self
+
+    # Mirror the store's command surface; each call queues, returns self
+    # so calls can be chained fluently.
+    def set(self, key: str, value: Any) -> "Pipeline":
+        return self._enqueue("set", key, value)
+
+    def get(self, key: str) -> "Pipeline":
+        return self._enqueue("get", key)
+
+    def incr(self, key: str, amount: int = 1) -> "Pipeline":
+        return self._enqueue("incr", key, amount)
+
+    def rpush(self, key: str, *values: Any) -> "Pipeline":
+        return self._enqueue("rpush", key, *values)
+
+    def lrange(self, key: str, start: int = 0, stop: int = -1) -> "Pipeline":
+        return self._enqueue("lrange", key, start, stop)
+
+    def lindex(self, key: str, index: int) -> "Pipeline":
+        return self._enqueue("lindex", key, index)
+
+    def llen(self, key: str) -> "Pipeline":
+        return self._enqueue("llen", key)
+
+    def hset(self, key: str, field_name: str, value: Any) -> "Pipeline":
+        return self._enqueue("hset", key, field_name, value)
+
+    def hget(self, key: str, field_name: str) -> "Pipeline":
+        return self._enqueue("hget", key, field_name)
+
+    def delete(self, *keys: str) -> "Pipeline":
+        return self._enqueue("delete", *keys)
+
+    def _flush(self) -> None:
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        self._results.extend(self.store.execute_batch(batch))
+        self.flushes += 1
+
+    def execute(self) -> list[Any]:
+        """Flush any queued commands and return all results since the
+        last ``execute`` call, in command order."""
+        self._flush()
+        results, self._results = self._results, []
+        return results
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._flush()

@@ -1,0 +1,39 @@
+"""Flat-integer serialization of dataset items for the KV codec.
+
+The KV record codec moves flat non-negative integer sequences. Graph and
+text items already are that; trees ``(parent, labels)`` are framed as
+``[n, parent_0+1, …, parent_{n-1}+1, label_0, …, label_{n-1}]`` (the +1
+shift makes the root's ``-1`` representable).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def serialize_item(kind: str, item) -> list[int]:
+    """Flatten one dataset item to a non-negative int list."""
+    if kind == "tree":
+        parent, labels = item
+        if len(parent) != len(labels):
+            raise ValueError("tree parent/labels length mismatch")
+        return [len(parent), *(int(p) + 1 for p in parent), *(int(l) for l in labels)]
+    if kind in ("graph", "text", "set"):
+        return [int(v) for v in item]
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+def deserialize_item(kind: str, flat: Sequence[int]):
+    """Invert :func:`serialize_item`."""
+    if kind == "tree":
+        if not flat:
+            raise ValueError("empty tree record")
+        n = int(flat[0])
+        if len(flat) != 1 + 2 * n:
+            raise ValueError("tree record length mismatch")
+        parent = tuple(int(p) - 1 for p in flat[1 : 1 + n])
+        labels = tuple(int(l) for l in flat[1 + n :])
+        return (parent, labels)
+    if kind in ("graph", "text", "set"):
+        return [int(v) for v in flat]
+    raise ValueError(f"unknown kind {kind!r}")

@@ -1,0 +1,186 @@
+"""compositeKModes clustering over MinHash sketches.
+
+Standard KModes keeps a single modal value per attribute in each cluster
+centre; with huge universes and short sketches almost every point then
+has *zero* matching attributes with every centre and cannot be assigned
+meaningfully. The compositeKModes variant of Wang et al. keeps the ``L``
+highest-frequency values per attribute instead (``L > 1``), so a point
+matches an attribute if its value appears anywhere in the centre's
+top-``L`` list. Convergence follows the usual KModes argument: both the
+assignment and the centre-update step never increase the total mismatch
+cost, so the cost is non-increasing and the algorithm terminates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class KModesResult:
+    """Outcome of a compositeKModes run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster id per input row, shape ``(n,)``.
+    centers:
+        Top-``L`` value lists, shape ``(K, k, L)``; unused slots hold the
+        per-cluster fill sentinel and never match data.
+    cost:
+        Final total mismatch count (sum over rows of unmatched attributes).
+    iterations:
+        Number of assign/update rounds performed.
+    converged:
+        Whether assignments stabilised before ``max_iter``.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    cost: float
+    iterations: int
+    converged: bool
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centers.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Row counts per cluster id."""
+        return np.bincount(self.labels, minlength=self.num_clusters)
+
+
+#: Sentinel for unused top-L slots; chosen so it cannot equal a sketch
+#: value (sketch values are < 2**64 - 1, and we offset per slot).
+_FILL = np.uint64(0xFFFFFFFFFFFFFFFE)
+
+
+@dataclass
+class CompositeKModes:
+    """compositeKModes over categorical (sketch) matrices.
+
+    Parameters
+    ----------
+    num_clusters:
+        ``K``, the number of strata to produce.
+    top_l:
+        ``L``, how many high-frequency values each centre keeps per
+        attribute.
+    max_iter:
+        Cap on assign/update rounds.
+    seed:
+        RNG seed for centre initialisation.
+    """
+
+    num_clusters: int = 8
+    top_l: int = 3
+    max_iter: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clusters <= 0:
+            raise ValueError("num_clusters must be positive")
+        if self.top_l <= 0:
+            raise ValueError("top_l must be positive")
+        if self.max_iter <= 0:
+            raise ValueError("max_iter must be positive")
+
+    # -- internals ---------------------------------------------------------
+
+    def _match_counts(self, sketches: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        """``(n, K)`` matrix of matched-attribute counts."""
+        n, k = sketches.shape
+        K = centers.shape[0]
+        counts = np.empty((n, K), dtype=np.int64)
+        for c in range(K):
+            # (n, k, L) equality, any over L, sum over k.
+            hit = (sketches[:, :, None] == centers[c][None, :, :]).any(axis=2)
+            counts[:, c] = hit.sum(axis=1)
+        return counts
+
+    def _update_centers(
+        self, sketches: np.ndarray, labels: np.ndarray, centers: np.ndarray
+    ) -> np.ndarray:
+        """Recompute per-attribute top-L frequency lists for each cluster."""
+        K = centers.shape[0]
+        k = sketches.shape[1]
+        new_centers = np.full_like(centers, _FILL)
+        for c in range(K):
+            members = sketches[labels == c]
+            if members.shape[0] == 0:
+                new_centers[c] = centers[c]  # keep stale centre; may re-capture
+                continue
+            for attr in range(k):
+                top = Counter(members[:, attr].tolist()).most_common(self.top_l)
+                for slot, (value, _freq) in enumerate(top):
+                    new_centers[c, attr, slot] = value
+        return new_centers
+
+    # -- public API ----------------------------------------------------------
+
+    def assign(self, sketches: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        """Assign rows to the nearest existing centres (no refitting).
+
+        Supports the framework's incremental path: new data joins the
+        strata learned on the original payload, so the one-time
+        stratification cost is amortized across dataset growth.
+        """
+        sketches = np.ascontiguousarray(np.asarray(sketches, dtype=np.uint64))
+        if sketches.ndim != 2:
+            raise ValueError("sketches must be a 2-D matrix")
+        if centers.ndim != 3 or centers.shape[1] != sketches.shape[1]:
+            raise ValueError("centers do not match sketch dimensionality")
+        counts = self._match_counts(sketches, centers)
+        return np.argmax(counts, axis=1).astype(np.int64)
+
+    def fit(self, sketches: np.ndarray) -> KModesResult:
+        """Cluster sketch rows; returns labels, centres and diagnostics.
+
+        Parameters
+        ----------
+        sketches:
+            ``(n, k)`` matrix of categorical values (uint64 MinHash slots).
+        """
+        sketches = np.ascontiguousarray(np.asarray(sketches, dtype=np.uint64))
+        if sketches.ndim != 2:
+            raise ValueError("sketches must be a 2-D matrix")
+        n, k = sketches.shape
+        if n == 0:
+            raise ValueError("cannot cluster an empty dataset")
+        K = min(self.num_clusters, n)
+
+        rng = np.random.default_rng(self.seed)
+        # Initialise each centre from a distinct random row; prefer rows
+        # with distinct sketches when available so initial centres differ.
+        _, unique_idx = np.unique(sketches, axis=0, return_index=True)
+        pool = unique_idx if unique_idx.size >= K else np.arange(n)
+        chosen = rng.choice(pool, size=K, replace=pool.size < K)
+        centers = np.full((K, k, self.top_l), _FILL, dtype=np.uint64)
+        centers[:, :, 0] = sketches[chosen]
+
+        labels = np.full(n, -1, dtype=np.int64)
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            counts = self._match_counts(sketches, centers)
+            new_labels = np.argmax(counts, axis=1).astype(np.int64)
+            if np.array_equal(new_labels, labels):
+                converged = True
+                break
+            labels = new_labels
+            centers = self._update_centers(sketches, labels, centers)
+
+        final_counts = self._match_counts(sketches, centers)
+        matched = final_counts[np.arange(n), labels]
+        cost = float(np.sum(k - matched))
+        return KModesResult(
+            labels=labels,
+            centers=centers,
+            cost=cost,
+            iterations=iterations,
+            converged=converged,
+        )

@@ -1,0 +1,90 @@
+"""Clustering/partition quality metrics (no sklearn dependency).
+
+Used by the stratifier-sensitivity ablation and tests: adjusted Rand
+index and normalized mutual information against planted labels, and
+label entropy of partitions (the quantity the similar-together
+placement minimizes for compression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _contingency(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    a = np.asarray(labels_a, dtype=np.int64)
+    b = np.asarray(labels_b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("label arrays must be 1-D and equal length")
+    if a.size == 0:
+        raise ValueError("label arrays must be non-empty")
+    if a.min() < 0 or b.min() < 0:
+        raise ValueError("labels must be non-negative")
+    table = np.zeros((a.max() + 1, b.max() + 1), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def adjusted_rand_index(labels_a, labels_b) -> float:
+    """Hubert–Arabie adjusted Rand index in [-1, 1]; 1 = identical
+    partitions (up to relabeling), ~0 = chance agreement."""
+    table = _contingency(labels_a, labels_b)
+    n = table.sum()
+    sum_comb_cells = float((table * (table - 1) // 2).sum())
+    rows = table.sum(axis=1)
+    cols = table.sum(axis=0)
+    sum_comb_rows = float((rows * (rows - 1) // 2).sum())
+    sum_comb_cols = float((cols * (cols - 1) // 2).sum())
+    total_pairs = float(n * (n - 1) // 2)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_comb_rows * sum_comb_cols / total_pairs
+    max_index = 0.5 * (sum_comb_rows + sum_comb_cols)
+    if max_index == expected:
+        return 1.0
+    return (sum_comb_cells - expected) / (max_index - expected)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    counts = counts[counts > 0].astype(np.float64)
+    p = counts / counts.sum()
+    return float(-(p * np.log(p)).sum())
+
+
+def normalized_mutual_information(labels_a, labels_b) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    table = _contingency(labels_a, labels_b).astype(np.float64)
+    n = table.sum()
+    h_a = _entropy(table.sum(axis=1))
+    h_b = _entropy(table.sum(axis=0))
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    p_joint = table / n
+    p_a = table.sum(axis=1, keepdims=True) / n
+    p_b = table.sum(axis=0, keepdims=True) / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(p_joint > 0, p_joint / (p_a * p_b), 1.0)
+        mi = float(np.where(p_joint > 0, p_joint * np.log(ratio), 0.0).sum())
+    denom = 0.5 * (h_a + h_b)
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, min(1.0, mi / denom))
+
+
+def partition_label_entropy(partitions, labels) -> float:
+    """Mean per-partition entropy of ground-truth labels (nats),
+    weighted by partition size. Similar-together placements drive this
+    toward zero; representative placements toward the global entropy."""
+    labels = np.asarray(labels, dtype=np.int64)
+    total = 0
+    weighted = 0.0
+    for part in partitions:
+        part = np.asarray(part, dtype=np.int64)
+        if part.size == 0:
+            continue
+        counts = np.bincount(labels[part])
+        weighted += part.size * _entropy(counts)
+        total += part.size
+    if total == 0:
+        raise ValueError("all partitions are empty")
+    return weighted / total

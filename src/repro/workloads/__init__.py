@@ -1,0 +1,12 @@
+"""Analytics workloads: frequent pattern mining and compression.
+
+These are the distributed algorithms the paper evaluates. Each workload
+implements the :class:`~repro.workloads.base.Workload` protocol — given
+one partition's records it produces an output plus an abstract
+*work-unit* count, which the cluster engines convert into emulated
+runtime per node speed.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+
+__all__ = ["Workload", "WorkloadResult"]

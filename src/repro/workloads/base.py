@@ -1,0 +1,63 @@
+"""Workload protocol shared by all analytics tasks.
+
+A workload consumes one partition's records and reports, besides its
+output, an abstract **work-unit** count. Work units measure the
+payload-dependent cost the paper's framework targets: for frequent
+pattern mining they grow with the candidate-pattern blowup, for
+compression with the bytes pushed through the coder. The execution
+engines turn work units into emulated runtime via each node's speed
+factor, so a skewed partition genuinely slows its host node down.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of running a workload on one partition.
+
+    Attributes
+    ----------
+    work_units:
+        Abstract processing cost of the partition (non-negative).
+    output:
+        Workload-specific payload (e.g. locally frequent patterns, or
+        compressed bytes).
+    stats:
+        Free-form diagnostics (candidate counts, compressed sizes, …).
+    """
+
+    work_units: float
+    output: Any = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.work_units < 0:
+            raise ValueError("work_units must be non-negative")
+
+
+class Workload(abc.ABC):
+    """One per-partition analytics task.
+
+    Subclasses must be picklable (the process-pool engine ships them to
+    workers) and deterministic given the same records.
+    """
+
+    #: Human-readable workload name (used in reports).
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def run(self, records: Sequence[Any]) -> WorkloadResult:
+        """Process one partition and report output + work units."""
+
+    def merge(self, partials: Sequence[WorkloadResult]) -> Any:
+        """Combine per-partition outputs into a global answer.
+
+        Default: list of outputs. FPM workloads override this with the
+        candidate-union / global-count step of Savasere's algorithm.
+        """
+        return [p.output for p in partials]

@@ -1,0 +1,40 @@
+"""Compression workloads (data-intensive, entropy-sensitive).
+
+The paper's second workload family: partitions are compressed
+independently, so the *similar-together* placement (low-entropy
+partitions) directly improves compression ratios. Two coders:
+
+- :mod:`repro.workloads.compression.webgraph` — WebGraph-style
+  adjacency compression (gap + reference coding over varint/zeta codes,
+  Boldi & Vigna WWW 2004);
+- :mod:`repro.workloads.compression.lz77` — the classic sliding-window
+  Lempel–Ziv coder over the partition's serialized byte stream.
+"""
+
+from repro.workloads.compression.varint import (
+    encode_varint,
+    decode_varint,
+    encode_varint_list,
+    decode_varint_list,
+    zigzag_encode,
+    zigzag_decode,
+)
+from repro.workloads.compression.lz77 import LZ77Codec
+from repro.workloads.compression.webgraph import WebGraphCodec
+from repro.workloads.compression.distributed import (
+    CompressionWorkload,
+    CompressionSummary,
+)
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_varint_list",
+    "decode_varint_list",
+    "zigzag_encode",
+    "zigzag_decode",
+    "LZ77Codec",
+    "WebGraphCodec",
+    "CompressionWorkload",
+    "CompressionSummary",
+]

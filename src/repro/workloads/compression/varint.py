@@ -1,0 +1,104 @@
+"""Variable-length integer codes (LEB128 varint + zigzag).
+
+The byte-aligned stand-in for WebGraph's bit-level zeta codes: small
+values take one byte, so gap-encoded adjacency lists with good locality
+shrink dramatically. Zigzag maps signed deltas to unsigned varints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer (7 data bits per byte)."""
+    if value < 0:
+        raise ValueError("varint requires a non-negative value")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one varint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_varint_list(values: Iterable[int]) -> bytes:
+    """Concatenated varints prefixed by their count."""
+    vals = list(values)
+    out = bytearray(encode_varint(len(vals)))
+    for v in vals:
+        out.extend(encode_varint(v))
+    return bytes(out)
+
+
+def decode_varint_list(data: bytes, offset: int = 0) -> tuple[list[int], int]:
+    """Inverse of :func:`encode_varint_list`."""
+    count, pos = decode_varint(data, offset)
+    values = []
+    for _ in range(count):
+        v, pos = decode_varint(data, pos)
+        values.append(v)
+    return values, pos
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer to unsigned: 0,-1,1,-2 → 0,1,2,3."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    if value < 0:
+        raise ValueError("zigzag-encoded values are non-negative")
+    return (value >> 1) if value % 2 == 0 else -((value + 1) >> 1)
+
+
+def gaps_encode(sorted_values: Sequence[int]) -> list[int]:
+    """Delta-encode a sorted sequence: first value, then successive gaps.
+
+    Gaps of a strictly increasing list are ≥ 1; we store ``gap - 1`` so
+    dense runs cost single-byte varints.
+    """
+    if not sorted_values:
+        return []
+    out = [sorted_values[0]]
+    prev = sorted_values[0]
+    for v in sorted_values[1:]:
+        if v <= prev:
+            raise ValueError("gaps_encode requires strictly increasing input")
+        out.append(v - prev - 1)
+        prev = v
+    return out
+
+
+def gaps_decode(encoded: Sequence[int]) -> list[int]:
+    """Inverse of :func:`gaps_encode`."""
+    if not encoded:
+        return []
+    out = [encoded[0]]
+    prev = encoded[0]
+    for gap in encoded[1:]:
+        prev = prev + gap + 1
+        out.append(prev)
+    return out

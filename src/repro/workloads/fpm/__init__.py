@@ -1,0 +1,28 @@
+"""Frequent pattern mining workloads (compute-intensive, skew-sensitive).
+
+Implements the paper's FPM stack: Apriori (Agrawal & Srikant) as the
+local miner, Savasere et al.'s partition-based distributed algorithm
+(local mining + global false-positive pruning scan), the frequent tree
+mining variant over LCA-pivot sets, and Eclat as an alternative
+vertical-layout backend (extension).
+"""
+
+from repro.workloads.fpm.apriori import AprioriMiner, AprioriWorkload, CandidateCountWorkload
+from repro.workloads.fpm.savasere import SavasereJob, DistributedMiningResult
+from repro.workloads.fpm.treemining import TreeMiningWorkload, trees_to_pivot_sets
+from repro.workloads.fpm.eclat import EclatMiner, EclatWorkload
+from repro.workloads.fpm.fpgrowth import FPGrowthMiner, FPGrowthWorkload
+
+__all__ = [
+    "FPGrowthMiner",
+    "FPGrowthWorkload",
+    "AprioriMiner",
+    "AprioriWorkload",
+    "CandidateCountWorkload",
+    "SavasereJob",
+    "DistributedMiningResult",
+    "TreeMiningWorkload",
+    "trees_to_pivot_sets",
+    "EclatMiner",
+    "EclatWorkload",
+]

@@ -1,0 +1,81 @@
+"""Unit tests for the fetch-and-increment global barrier."""
+
+import threading
+
+import pytest
+
+from repro.cluster.barrier import KVBarrier
+from repro.kvstore.store import KeyValueStore, StoreError
+
+
+@pytest.fixture()
+def store():
+    return KeyValueStore()
+
+
+class TestBarrier:
+    def test_single_party_passes_immediately(self, store):
+        barrier = KVBarrier(store=store, parties=1)
+        assert barrier.wait() == 0
+
+    def test_all_threads_pass_together(self, store):
+        parties = 6
+        barrier = KVBarrier(store=store, parties=parties, timeout_s=5.0)
+        passed = []
+        lock = threading.Lock()
+
+        def worker(pid):
+            barrier.wait(party_id=pid)
+            with lock:
+                passed.append(pid)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(parties)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(passed) == list(range(parties))
+
+    def test_generations_make_barrier_reusable(self, store):
+        parties = 4
+        barrier = KVBarrier(store=store, parties=parties, timeout_s=5.0)
+        generations = []
+        lock = threading.Lock()
+
+        def worker(pid):
+            for _phase in range(3):
+                gen = barrier.wait(party_id=pid)
+                with lock:
+                    generations.append(gen)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(parties)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each generation 0,1,2 completed by all parties.
+        assert sorted(generations) == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_timeout_when_party_missing(self, store):
+        barrier = KVBarrier(store=store, parties=2, timeout_s=0.1)
+        with pytest.raises(TimeoutError):
+            barrier.wait(party_id=0)
+
+    def test_overflow_detected(self, store):
+        barrier = KVBarrier(store=store, parties=1)
+        barrier.wait(party_id=0)
+        # A second distinct party arriving at generation 0 overflows.
+        with pytest.raises(StoreError):
+            barrier.wait(party_id=99)
+
+    def test_zero_parties_rejected(self, store):
+        with pytest.raises(StoreError):
+            KVBarrier(store=store, parties=0)
+
+    def test_distinct_names_isolated(self, store):
+        b1 = KVBarrier(store=store, parties=1, name="phase1")
+        b2 = KVBarrier(store=store, parties=1, name="phase2")
+        assert b1.wait() == 0
+        assert b2.wait() == 0
+        assert store.get("phase1:gen:0:arrivals") == 1
+        assert store.get("phase2:gen:0:arrivals") == 1

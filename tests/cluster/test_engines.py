@@ -1,0 +1,182 @@
+"""Unit tests for the execution engines."""
+
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.engines import ProcessPoolEngine, SimulatedEngine
+from repro.workloads.base import Workload, WorkloadResult
+
+
+class CountingWorkload(Workload):
+    """Work = number of records; output = their sum (picklable)."""
+
+    name = "counting"
+
+    def run(self, records: Sequence[int]) -> WorkloadResult:
+        return WorkloadResult(
+            work_units=float(len(records)), output=sum(records), stats={"n": len(records)}
+        )
+
+    def merge(self, partials):
+        return sum(p.output for p in partials)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster(4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(cluster):
+    return SimulatedEngine(cluster, unit_rate=10.0)
+
+
+class TestSimulatedEngine:
+    def test_runtime_formula(self, cluster, engine):
+        # node 3 (speed 1): overhead 0.5 + 20/10 = 2.5 s.
+        runtime = engine.profile(CountingWorkload(), list(range(20)), 3)
+        assert runtime == pytest.approx(0.5 + 2.0)
+
+    def test_faster_node_shorter_runtime(self, engine):
+        records = list(range(40))
+        t_fast = engine.profile(CountingWorkload(), records, 0)
+        t_slow = engine.profile(CountingWorkload(), records, 3)
+        assert t_fast == pytest.approx(t_slow / 4.0)
+
+    def test_profile_all_nodes_matches_profile(self, engine):
+        records = list(range(12))
+        batched = engine.profile_all_nodes(CountingWorkload(), records)
+        singles = [
+            engine.profile(CountingWorkload(), records, i) for i in range(4)
+        ]
+        assert batched == pytest.approx(singles)
+
+    def test_invalid_unit_rate(self, cluster):
+        with pytest.raises(ValueError):
+            SimulatedEngine(cluster, unit_rate=0.0)
+
+    def test_deterministic(self, engine):
+        parts = [[1, 2], [3], [4, 5, 6], [7]]
+        r1 = engine.run_job(CountingWorkload(), parts)
+        r2 = engine.run_job(CountingWorkload(), parts)
+        assert r1.makespan_s == r2.makespan_s
+        assert r1.total_dirty_energy_j == r2.total_dirty_energy_j
+
+
+class TestJobExecution:
+    def test_default_assignment_round_robins(self, engine):
+        parts = [[1]] * 6
+        job = engine.run_job(CountingWorkload(), parts)
+        assert [t.node_id for t in job.tasks] == [0, 1, 2, 3, 0, 1]
+
+    def test_makespan_is_max_node_busy_time(self, engine):
+        parts = [[1] * 10, [1] * 10]
+        job = engine.run_job(CountingWorkload(), parts, assignment=[0, 3])
+        busy = job.node_busy_times()
+        assert job.makespan_s == pytest.approx(max(busy.values()))
+
+    def test_multiple_partitions_on_node_serialize(self, engine):
+        parts = [[1] * 10, [1] * 10]
+        job = engine.run_job(CountingWorkload(), parts, assignment=[2, 2])
+        t0, t1 = job.tasks
+        assert t1.start_s == pytest.approx(t0.end_s)
+        assert job.makespan_s == pytest.approx(t0.runtime_s + t1.runtime_s)
+
+    def test_merged_output(self, engine):
+        parts = [[1, 2], [3, 4]]
+        job = engine.run_job(CountingWorkload(), parts, assignment=[0, 1])
+        assert job.merged_output == 10
+
+    def test_energy_totals_sum_tasks(self, engine):
+        parts = [[1] * 5, [1] * 5, [1] * 5]
+        job = engine.run_job(CountingWorkload(), parts)
+        assert job.total_dirty_energy_j == pytest.approx(
+            sum(t.dirty_energy_j for t in job.tasks)
+        )
+        assert job.total_energy_j == pytest.approx(
+            sum(t.energy_j for t in job.tasks)
+        )
+
+    def test_energy_positive_for_busy_nodes(self, engine):
+        job = engine.run_job(CountingWorkload(), [[1] * 20], assignment=[0])
+        assert job.total_energy_j > 0
+
+    def test_assignment_validation(self, engine):
+        with pytest.raises(ValueError):
+            engine.run_job(CountingWorkload(), [[1]], assignment=[9])
+        with pytest.raises(ValueError):
+            engine.run_job(CountingWorkload(), [[1], [2]], assignment=[0])
+        with pytest.raises(ValueError):
+            engine.run_job(CountingWorkload(), [], assignment=[])
+
+    def test_partition_sizes_by_node(self, engine):
+        parts = [[1] * 4, [1] * 6]
+        job = engine.run_job(CountingWorkload(), parts, assignment=[1, 1])
+        assert job.partition_sizes_by_node() == {1: 10.0}
+
+
+class TestEnergyWindows:
+    def test_sequential_tasks_account_later_trace_windows(self):
+        """A node's second task runs later in its green trace, so its
+        dirty energy must reflect that window — here the trace turns
+        green after 2 s, so only the first task pays."""
+        import numpy as np
+
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.node import Node, NodeType
+        from repro.energy.traces import EnergyTrace
+
+        trace = EnergyTrace(
+            watts=np.array([0.0, 0.0, 1000.0, 1000.0, 1000.0, 1000.0]),
+            resolution_s=1.0,
+        )
+        node = Node(
+            node_id=0,
+            node_type=NodeType(type_id=1, speed_factor=1.0, cores=1),  # 155 W
+            trace=trace,
+            task_overhead_s=0.0,
+        )
+        cluster = Cluster(nodes=[node])
+        engine = SimulatedEngine(cluster, unit_rate=10.0)
+        # Two tasks of 20 work units = 2 s each, back to back.
+        job = engine.run_job(CountingWorkload(), [[1] * 20, [1] * 20], assignment=[0, 0])
+        first, second = job.tasks
+        assert first.dirty_energy_j == pytest.approx(155.0 * 2.0)
+        assert second.dirty_energy_j == pytest.approx(0.0)
+
+        # A start offset shifts the billing window: starting at t=2 both
+        # tasks run in the green part of the trace.
+        shifted = engine.run_job(
+            CountingWorkload(), [[1] * 20, [1] * 20], assignment=[0, 0], start_offset_s=2.0
+        )
+        assert shifted.total_dirty_energy_j == pytest.approx(0.0)
+        assert shifted.makespan_s == pytest.approx(job.makespan_s)
+
+    def test_negative_offset_rejected(self):
+        from repro.cluster.cluster import paper_cluster
+
+        engine = SimulatedEngine(paper_cluster(2, seed=0), unit_rate=10.0)
+        with pytest.raises(ValueError):
+            engine.run_job(CountingWorkload(), [[1]], start_offset_s=-1.0)
+
+
+class TestProcessPoolEngine:
+    def test_end_to_end(self, cluster):
+        engine = ProcessPoolEngine(cluster, max_workers=2)
+        parts = [[1, 2, 3], [4, 5]]
+        job = engine.run_job(CountingWorkload(), parts, assignment=[0, 1])
+        assert job.merged_output == 15
+        assert job.makespan_s > 0
+        assert all(t.runtime_s > 0 for t in job.tasks)
+
+    def test_speed_scaling_applied(self, cluster):
+        engine = ProcessPoolEngine(cluster, max_workers=1)
+        records = list(range(100))
+        # The same work on a 4x node must be reported faster than on the
+        # 1x node by roughly the speed ratio (wall time is similar).
+        t_fast = engine.profile(CountingWorkload(), records, 0)
+        t_slow = engine.profile(CountingWorkload(), records, 3)
+        assert t_slow > t_fast

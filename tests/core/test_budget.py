@@ -1,0 +1,90 @@
+"""Unit tests for the carbon-budget planner."""
+
+import pytest
+
+from repro.core.budget import BudgetInfeasibleError, CarbonBudgetPlanner
+from repro.core.heterogeneity import LinearTimeModel
+from repro.core.optimizer import ParetoOptimizer
+
+
+@pytest.fixture()
+def optimizer():
+    return ParetoOptimizer(
+        models=[
+            LinearTimeModel(slope=1.0 / s, intercept=0.2) for s in (4.0, 3.0, 2.0, 1.0)
+        ],
+        dirty_coeffs=[300.0, 200.0, 50.0, 0.0],
+    )
+
+
+@pytest.fixture()
+def planner(optimizer):
+    return CarbonBudgetPlanner(optimizer)
+
+
+class TestPlanning:
+    def test_loose_budget_returns_fastest(self, planner, optimizer):
+        fastest = optimizer.solve(1000, 1.0)
+        plan = planner.plan(1000, max_dirty_energy_j=1e12)
+        assert plan.predicted_makespan_s == pytest.approx(
+            fastest.predicted_makespan_s
+        )
+
+    def test_plan_respects_budget(self, planner, optimizer):
+        fastest = optimizer.solve(1000, 1.0)
+        budget = 0.5 * fastest.predicted_dirty_energy_j
+        plan = planner.plan(1000, max_dirty_energy_j=budget)
+        assert plan.predicted_dirty_energy_j <= budget * 1.001
+
+    def test_tighter_budget_never_faster(self, planner, optimizer):
+        fastest = optimizer.solve(1000, 1.0)
+        loose = planner.plan(1000, 0.8 * fastest.predicted_dirty_energy_j)
+        tight = planner.plan(1000, 0.2 * fastest.predicted_dirty_energy_j)
+        assert tight.predicted_dirty_energy_j <= loose.predicted_dirty_energy_j
+        assert tight.predicted_makespan_s >= loose.predicted_makespan_s - 1e-9
+
+    def test_infeasible_budget_raises(self, optimizer):
+        # Make every node dirty so the floor is positive.
+        dirty_opt = ParetoOptimizer(
+            models=list(optimizer.models), dirty_coeffs=[300.0, 200.0, 100.0, 50.0]
+        )
+        planner = CarbonBudgetPlanner(dirty_opt)
+        greenest = dirty_opt.solve(1000, 0.0)
+        with pytest.raises(BudgetInfeasibleError):
+            planner.plan(1000, 0.5 * greenest.predicted_dirty_energy_j)
+
+    def test_budget_at_floor_is_feasible(self, planner, optimizer):
+        greenest = optimizer.solve(1000, 0.0)
+        budget = max(greenest.predicted_dirty_energy_j, 1e-6) * 1.01 + 1.0
+        plan = planner.plan(1000, budget)
+        assert plan.predicted_dirty_energy_j <= budget
+
+    def test_invalid_budget(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan(1000, 0.0)
+        with pytest.raises(ValueError):
+            planner.plan(1000, -5.0)
+
+    def test_min_items_forwarded(self, planner, optimizer):
+        fastest = optimizer.solve(1000, 1.0)
+        plan = planner.plan(
+            1000, 0.6 * fastest.predicted_dirty_energy_j, min_items=100
+        )
+        for s in plan.sizes:
+            assert s == 0 or s >= 99
+
+
+class TestHeadroom:
+    def test_headroom_fraction(self, planner, optimizer):
+        plan = optimizer.solve(1000, 1.0)
+        budget = 2.0 * plan.predicted_dirty_energy_j
+        assert planner.headroom(plan, budget) == pytest.approx(0.5)
+
+    def test_over_budget_negative(self, planner, optimizer):
+        plan = optimizer.solve(1000, 1.0)
+        assert planner.headroom(plan, 0.5 * plan.predicted_dirty_energy_j) < 0
+
+    def test_invalid(self, planner, optimizer):
+        plan = optimizer.solve(1000, 1.0)
+        with pytest.raises(ValueError):
+            planner.headroom(plan, 0.0)

@@ -1,0 +1,83 @@
+"""Property tests for the statistical guarantees the paper relies on.
+
+The representative partitioner's whole point (Section III-E, citing
+Cochran) is that every partition approximates the global payload
+distribution. These properties pin that down quantitatively for
+arbitrary stratifications and partition plans.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import representative_partitions
+from repro.stratify.stratifier import Stratification
+
+
+def build_stratification(stratum_sizes, seed):
+    n = sum(stratum_sizes)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    strata, labels = [], np.empty(n, dtype=np.int64)
+    offset = 0
+    for s, size in enumerate(stratum_sizes):
+        members = np.sort(perm[offset : offset + size])
+        strata.append(members)
+        labels[members] = s
+        offset += size
+    return Stratification(labels=labels, strata=strata)
+
+
+sizes_strategy = st.lists(st.integers(min_value=20, max_value=60), min_size=2, max_size=5)
+
+
+class TestRepresentativeDistribution:
+    @given(sizes_strategy, st.integers(min_value=2, max_value=4), st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_partitions_mirror_global_mix(self, stratum_sizes, p, seed):
+        """Every non-trivial partition's stratum mix stays within ±15
+        percentage points of the global mix, per stratum."""
+        strat = build_stratification(stratum_sizes, seed)
+        n = strat.num_items
+        base, extra = divmod(n, p)
+        plan = [base + (1 if i < extra else 0) for i in range(p)]
+        parts = representative_partitions(strat, plan, np.random.default_rng(seed))
+        global_mix = strat.stratum_sizes() / n
+        for part in parts:
+            if part.size < 10:
+                continue
+            counts = np.bincount(strat.labels[part], minlength=strat.num_strata)
+            mix = counts / part.size
+            assert np.max(np.abs(mix - global_mix)) < 0.15
+
+    @given(sizes_strategy, st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_heavily_skewed_plan_still_representative(self, stratum_sizes, seed):
+        """Even a 4:1 size plan (the Het-Aware shape) keeps the big
+        partition representative."""
+        strat = build_stratification(stratum_sizes, seed)
+        n = strat.num_items
+        big = (4 * n) // 5
+        plan = [big, n - big]
+        parts = representative_partitions(strat, plan, np.random.default_rng(seed))
+        global_mix = strat.stratum_sizes() / n
+        counts = np.bincount(strat.labels[parts[0]], minlength=strat.num_strata)
+        mix = counts / parts[0].size
+        assert np.max(np.abs(mix - global_mix)) < 0.1
+
+
+class TestStratifiedSampleDistribution:
+    @given(
+        sizes_strategy,
+        st.floats(min_value=0.2, max_value=0.8),
+        st.integers(0, 99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sample_mix_tracks_population(self, stratum_sizes, fraction, seed):
+        strat = build_stratification(stratum_sizes, seed)
+        rng = np.random.default_rng(seed + 1)
+        sample = strat.stratified_sample(fraction, rng)
+        global_mix = strat.stratum_sizes() / strat.num_items
+        counts = np.bincount(strat.labels[sample], minlength=strat.num_strata)
+        mix = counts / sample.size
+        assert np.max(np.abs(mix - global_mix)) < 0.12

@@ -1,0 +1,76 @@
+"""Tests for ParetoPartitioner.measure_frontier and error paths."""
+
+import pytest
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.engines import SimulatedEngine
+from repro.core.framework import ParetoPartitioner
+from repro.data.datasets import load_dataset
+from repro.workloads.compression.distributed import CompressionWorkload
+from repro.workloads.fpm.apriori import AprioriWorkload
+
+
+@pytest.fixture(scope="module")
+def pp_and_items():
+    dataset = load_dataset("rcv1", size_scale=0.4, seed=0)
+    pp = ParetoPartitioner(
+        SimulatedEngine(paper_cluster(4, seed=0)),
+        kind="text",
+        num_strata=6,
+        stage_via_kv=False,
+        seed=0,
+    )
+    return pp, dataset.items
+
+
+class TestMeasureFrontier:
+    def test_one_report_per_alpha(self, pp_and_items):
+        pp, items = pp_and_items
+        workload = AprioriWorkload(min_support=0.15, max_len=2)
+        sweep = pp.measure_frontier(items, workload, alphas=(1.0, 0.99, 0.0))
+        assert [a for a, _ in sweep] == [1.0, 0.99, 0.0]
+        assert all(r.makespan_s > 0 for _, r in sweep)
+
+    def test_mining_uses_two_phases(self, pp_and_items):
+        pp, items = pp_and_items
+        workload = AprioriWorkload(min_support=0.15, max_len=2)
+        sweep = pp.measure_frontier(items, workload, alphas=(1.0,))
+        _, report = sweep[0]
+        assert "false_positives" in report.extra
+
+    def test_alpha_extremes_ordered(self, pp_and_items):
+        pp, items = pp_and_items
+        workload = AprioriWorkload(min_support=0.15, max_len=2)
+        prepared = pp.prepare(items, workload)
+        sweep = pp.measure_frontier(
+            items, workload, alphas=(1.0, 0.0), prepared=prepared
+        )
+        fast = sweep[0][1]
+        green = sweep[1][1]
+        assert fast.makespan_s <= green.makespan_s
+        assert green.total_dirty_energy_j <= fast.total_dirty_energy_j
+
+    def test_compression_single_phase(self):
+        dataset = load_dataset("uk", size_scale=0.2, seed=0)
+        pp = ParetoPartitioner(
+            SimulatedEngine(paper_cluster(4, seed=0), unit_rate=5e3),
+            kind="graph",
+            num_strata=6,
+            stage_via_kv=False,
+            seed=0,
+        )
+        sweep = pp.measure_frontier(
+            dataset.items,
+            CompressionWorkload("webgraph"),
+            alphas=(1.0, 0.0),
+            placement="similar",
+        )
+        assert all(not r.extra for _, r in sweep)
+        assert all(r.merged_output.ratio > 1.0 for _, r in sweep)
+
+    def test_empty_alphas_rejected(self, pp_and_items):
+        pp, items = pp_and_items
+        with pytest.raises(ValueError):
+            pp.measure_frontier(
+                items, AprioriWorkload(min_support=0.2), alphas=()
+            )

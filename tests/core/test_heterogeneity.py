@@ -1,0 +1,183 @@
+"""Unit tests for the progressive-sampling heterogeneity estimator."""
+
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.engines import SimulatedEngine
+from repro.core.heterogeneity import (
+    PAPER_FRACTIONS,
+    SMALL_DATA_FRACTIONS,
+    LinearTimeModel,
+    PolynomialTimeModel,
+    ProgressiveSampler,
+    auto_fractions,
+)
+from repro.stratify.stratifier import Stratification
+from repro.workloads.base import Workload, WorkloadResult
+
+
+class LinearWorkload(Workload):
+    """Work exactly equals record count: the engine's runtime becomes
+    a perfectly linear function of sample size."""
+
+    name = "linear"
+
+    def run(self, records: Sequence) -> WorkloadResult:
+        return WorkloadResult(work_units=float(len(records)), output=None)
+
+
+class QuadraticWorkload(Workload):
+    name = "quadratic"
+
+    def run(self, records: Sequence) -> WorkloadResult:
+        return WorkloadResult(work_units=float(len(records)) ** 2 / 10.0, output=None)
+
+
+def flat_stratification(n):
+    return Stratification(labels=np.zeros(n, dtype=np.int64), strata=[np.arange(n)])
+
+
+class TestLinearTimeModel:
+    def test_fit_recovers_line(self):
+        model = LinearTimeModel.fit([10, 20, 40], [1.5, 2.5, 4.5])
+        assert model.slope == pytest.approx(0.1)
+        assert model.intercept == pytest.approx(0.5)
+
+    def test_predict(self):
+        model = LinearTimeModel(slope=0.1, intercept=1.0)
+        assert model.predict(100) == pytest.approx(11.0)
+
+    def test_predict_clamps_at_zero(self):
+        model = LinearTimeModel(slope=0.0, intercept=0.0)
+        assert model.predict(10) == 0.0
+
+    def test_negative_slope_clamped_in_fit(self):
+        model = LinearTimeModel.fit([10, 20, 30], [5.0, 4.0, 3.0])
+        assert model.slope == 0.0
+        assert model.intercept == pytest.approx(4.0)  # falls back to mean
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTimeModel(slope=-1.0, intercept=0.0)
+        with pytest.raises(ValueError):
+            LinearTimeModel(slope=1.0, intercept=0.0).predict(-5)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            LinearTimeModel.fit([1], [1.0])
+
+
+class TestPolynomialTimeModel:
+    def test_fit_quadratic(self):
+        x = [1, 2, 3, 4, 5]
+        y = [xi**2 for xi in x]
+        model = PolynomialTimeModel.fit(x, y, degree=2)
+        assert model.predict(6) == pytest.approx(36.0, rel=1e-6)
+        assert model.degree == 2
+
+    def test_needs_more_points_than_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialTimeModel.fit([1, 2], [1.0, 2.0], degree=2)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialTimeModel.fit([1, 2, 3], [1, 2, 3], degree=0)
+
+    def test_overfits_with_few_samples(self):
+        """The paper's Section III-D argument: high-degree fits on few
+        progressive samples extrapolate badly versus a linear fit."""
+        rng = np.random.default_rng(0)
+        x = np.array([10.0, 20.0, 40.0, 80.0, 160.0])
+        true = 0.05 * x + 1.0
+        y = true + rng.normal(0, 0.3, size=x.size)
+        linear = LinearTimeModel.fit(x, y)
+        poly = PolynomialTimeModel.fit(x, y, degree=4)
+        target = 0.05 * 2000.0 + 1.0
+        assert abs(linear.predict(2000.0) - target) < abs(
+            poly.predict(2000.0) - target
+        )
+
+
+class TestAutoFractions:
+    def test_large_data_uses_paper_schedule(self):
+        assert auto_fractions(100_000) == PAPER_FRACTIONS
+
+    def test_small_data_uses_wide_schedule(self):
+        assert auto_fractions(1000) == SMALL_DATA_FRACTIONS
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            auto_fractions(0)
+
+
+class TestProgressiveSampler:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return SimulatedEngine(paper_cluster(4, seed=0), unit_rate=100.0)
+
+    def test_recovers_speed_ratios(self, engine):
+        """Per-node slopes must mirror the emulated speed factors."""
+        items = list(range(2000))
+        sampler = ProgressiveSampler(engine=engine, seed=0)
+        report = sampler.profile(LinearWorkload(), items, flat_stratification(2000))
+        slopes = np.array([m.slope for m in report.models])
+        # speeds 4,3,2,1 → slopes proportional to 1/4, 1/3, 1/2, 1.
+        ratios = slopes / slopes[3]
+        assert np.allclose(ratios, [0.25, 1 / 3, 0.5, 1.0], rtol=0.05)
+
+    def test_linear_fit_is_good(self, engine):
+        items = list(range(1000))
+        report = ProgressiveSampler(engine=engine, seed=0).profile(
+            LinearWorkload(), items, flat_stratification(1000)
+        )
+        assert all(r2 > 0.99 for r2 in report.r_squared)
+
+    def test_sample_sizes_ascending_distinct(self, engine):
+        items = list(range(500))
+        report = ProgressiveSampler(engine=engine, seed=0).profile(
+            LinearWorkload(), items, flat_stratification(500)
+        )
+        assert report.sample_sizes == sorted(set(report.sample_sizes))
+        assert len(report.sample_sizes) >= 2
+
+    def test_one_model_per_node(self, engine):
+        items = list(range(300))
+        report = ProgressiveSampler(engine=engine, seed=0).profile(
+            LinearWorkload(), items, flat_stratification(300)
+        )
+        assert report.num_nodes == 4
+        assert len(report.times) == 4
+
+    def test_tiny_dataset_still_profiles(self, engine):
+        items = list(range(10))
+        report = ProgressiveSampler(engine=engine, seed=0).profile(
+            LinearWorkload(), items, flat_stratification(10)
+        )
+        assert len(report.sample_sizes) >= 2
+
+    def test_empty_dataset_rejected(self, engine):
+        with pytest.raises(ValueError):
+            ProgressiveSampler(engine=engine).profile(
+                LinearWorkload(), [], flat_stratification(1)
+            )
+
+    def test_invalid_fractions(self, engine):
+        with pytest.raises(ValueError):
+            ProgressiveSampler(engine=engine, fractions=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            ProgressiveSampler(engine=engine, fractions=(0.1,))
+        with pytest.raises(ValueError):
+            ProgressiveSampler(engine=engine, fractions=(0.0, 0.1))
+
+    def test_nonlinear_workload_lower_r2(self, engine):
+        items = list(range(1000))
+        lin = ProgressiveSampler(engine=engine, seed=0).profile(
+            LinearWorkload(), items, flat_stratification(1000)
+        )
+        quad = ProgressiveSampler(engine=engine, seed=0).profile(
+            QuadraticWorkload(), items, flat_stratification(1000)
+        )
+        assert min(quad.r_squared) < min(lin.r_squared) + 1e-9

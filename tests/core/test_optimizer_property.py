@@ -1,0 +1,90 @@
+"""Property-based robustness tests for the LP optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heterogeneity import LinearTimeModel
+from repro.core.optimizer import ParetoOptimizer, predict_makespan
+
+model_strategy = st.builds(
+    LinearTimeModel,
+    slope=st.floats(min_value=0.001, max_value=2.0),
+    intercept=st.floats(min_value=0.0, max_value=5.0),
+)
+
+instance_strategy = st.integers(min_value=2, max_value=8).flatmap(
+    lambda p: st.tuples(
+        st.lists(model_strategy, min_size=p, max_size=p),
+        st.lists(
+            st.floats(min_value=0.0, max_value=500.0), min_size=p, max_size=p
+        ),
+        st.integers(min_value=p, max_value=5000),
+        st.sampled_from([1.0, 0.999, 0.99, 0.9, 0.5, 0.0]),
+    )
+)
+
+
+class TestLPProperties:
+    @given(instance_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_always_partition_total(self, instance):
+        models, coeffs, total, alpha = instance
+        plan = ParetoOptimizer(models=models, dirty_coeffs=coeffs).solve(total, alpha)
+        assert plan.sizes.sum() == total
+        assert (plan.sizes >= 0).all()
+
+    @given(instance_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_one_never_worse_than_equal_split(self, instance):
+        models, coeffs, total, _alpha = instance
+        opt = ParetoOptimizer(models=models, dirty_coeffs=coeffs)
+        het = opt.solve(total, 1.0)
+        equal = opt.equal_split_plan(total)
+        # Integer rounding can cost at most one item's worth of slack.
+        slack = max(m.slope for m in models) * 2 + 1e-6
+        assert het.predicted_makespan_s <= equal.predicted_makespan_s + slack
+
+    @given(instance_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_zero_never_dirtier_than_equal_split(self, instance):
+        models, coeffs, total, _alpha = instance
+        opt = ParetoOptimizer(models=models, dirty_coeffs=coeffs)
+        green = opt.solve(total, 0.0)
+        equal = opt.equal_split_plan(total)
+        slack = max(
+            k * m.slope for k, m in zip(coeffs, models)
+        ) * 2 + 1e-6
+        assert green.predicted_dirty_energy_j <= equal.predicted_dirty_energy_j + slack
+
+    @given(instance_strategy, st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_min_items_semicontinuous(self, instance, min_items):
+        models, coeffs, total, alpha = instance
+        opt = ParetoOptimizer(models=models, dirty_coeffs=coeffs)
+        plan = opt.solve(total, alpha, min_items=min_items)
+        assert plan.sizes.sum() == total
+        for s in plan.sizes:
+            # Either idle, at/above the floor (±1 from rounding), or the
+            # degenerate everything-on-one-node case.
+            assert s == 0 or s >= min_items - 1 or s == total
+
+    @given(instance_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_predictions_match_sizes(self, instance):
+        models, coeffs, total, alpha = instance
+        opt = ParetoOptimizer(models=models, dirty_coeffs=coeffs)
+        plan = opt.solve(total, alpha)
+        assert plan.predicted_makespan_s == pytest.approx(
+            predict_makespan(models, plan.sizes)
+        )
+
+    @given(instance_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, instance):
+        models, coeffs, total, alpha = instance
+        opt = ParetoOptimizer(models=models, dirty_coeffs=coeffs)
+        a = opt.solve(total, alpha)
+        b = opt.solve(total, alpha)
+        assert np.array_equal(a.sizes, b.sizes)

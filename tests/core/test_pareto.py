@@ -1,0 +1,124 @@
+"""Unit tests for Pareto dominance, frontiers and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.heterogeneity import LinearTimeModel
+from repro.core.optimizer import ParetoOptimizer
+from repro.core.pareto import (
+    ParetoPoint,
+    frontier_sweep,
+    hypervolume_2d,
+    is_pareto_efficient,
+    pareto_dominates,
+    pareto_front,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert pareto_dominates([1, 1], [2, 2])
+
+    def test_weak_dominance_one_axis(self):
+        assert pareto_dominates([1, 2], [2, 2])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not pareto_dominates([1, 1], [1, 1])
+
+    def test_tradeoff_points_incomparable(self):
+        assert not pareto_dominates([1, 3], [3, 1])
+        assert not pareto_dominates([3, 1], [1, 3])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_dominates([1], [1, 2])
+
+
+class TestFront:
+    def test_extracts_non_dominated(self):
+        points = [[1, 5], [2, 3], [4, 1], [3, 3], [5, 5]]
+        assert pareto_front(points) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert pareto_front([[1, 1]]) == [0]
+
+    def test_duplicates_all_kept(self):
+        # Equal points don't dominate each other.
+        assert pareto_front([[1, 1], [1, 1]]) == [0, 1]
+
+    def test_is_pareto_efficient(self):
+        others = [[1, 5], [5, 1]]
+        assert is_pareto_efficient([2, 2], others)
+        assert not is_pareto_efficient([2, 6], others)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([[1, 1]], reference=[3, 3]) == pytest.approx(4.0)
+
+    def test_two_point_staircase(self):
+        hv = hypervolume_2d([[1, 2], [2, 1]], reference=[3, 3])
+        assert hv == pytest.approx(2.0 + 1.0)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume_2d([[5, 5]], reference=[3, 3]) == 0.0
+
+    def test_dominated_points_do_not_add(self):
+        base = hypervolume_2d([[1, 1]], reference=[4, 4])
+        extra = hypervolume_2d([[1, 1], [2, 2]], reference=[4, 4])
+        assert base == pytest.approx(extra)
+
+
+class TestFrontierSweep:
+    @pytest.fixture()
+    def optimizer(self):
+        return ParetoOptimizer(
+            models=[
+                LinearTimeModel(slope=1.0 / s, intercept=0.1) for s in (4.0, 2.0, 1.0)
+            ],
+            dirty_coeffs=[300.0, 100.0, 0.0],
+        )
+
+    def test_one_point_per_alpha(self, optimizer):
+        sweep = frontier_sweep(optimizer, 500, alphas=(1.0, 0.5, 0.0))
+        assert len(sweep) == 3
+        assert [pt.alpha for pt, _ in sweep] == [1.0, 0.5, 0.0]
+
+    def test_endpoints_are_extremes(self, optimizer):
+        sweep = frontier_sweep(optimizer, 500, alphas=(1.0, 0.5, 0.0))
+        points = [pt for pt, _ in sweep]
+        assert points[0].makespan_s == min(p.makespan_s for p in points)
+        assert points[-1].dirty_energy_j == min(p.dirty_energy_j for p in points)
+
+    def test_sweep_points_mutually_non_dominating(self, optimizer):
+        sweep = frontier_sweep(optimizer, 500)
+        objs = [pt.objectives() for pt, _ in sweep]
+        for i, a in enumerate(objs):
+            for j, b in enumerate(objs):
+                if i != j:
+                    assert not (a[0] < b[0] - 1e-6 and a[1] < b[1] - 1e-6)
+
+    def test_equal_split_baseline_above_frontier(self, optimizer):
+        """The paper's Figure 5 observation: the stratified (equal-split)
+        baseline never dominates the frontier, and the frontier beats it
+        in each objective somewhere along the sweep."""
+        baseline = optimizer.equal_split_plan(500)
+        base_obj = (baseline.predicted_makespan_s, baseline.predicted_dirty_energy_j)
+        sweep = frontier_sweep(optimizer, 500)
+        points = [pt for pt, _ in sweep]
+        assert min(p.makespan_s for p in points) <= base_obj[0] + 1e-9
+        assert min(p.dirty_energy_j for p in points) <= base_obj[1] + 1e-9
+        for p in points:
+            assert not pareto_dominates(base_obj, p.objectives())
+
+    def test_point_objectives_match_plan(self, optimizer):
+        sweep = frontier_sweep(optimizer, 500, alphas=(0.9,))
+        pt, plan = sweep[0]
+        assert pt.makespan_s == plan.predicted_makespan_s
+        assert pt.dirty_energy_j == plan.predicted_dirty_energy_j
+
+
+class TestParetoPoint:
+    def test_objectives_tuple(self):
+        pt = ParetoPoint(alpha=0.5, makespan_s=2.0, dirty_energy_j=3.0)
+        assert pt.objectives() == (2.0, 3.0)

@@ -1,0 +1,175 @@
+"""Unit and property tests for the data partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioner import (
+    equal_sizes,
+    random_partitions,
+    representative_partitions,
+    round_robin_partitions,
+    similar_partitions,
+)
+from repro.stratify.stratifier import Stratification
+
+
+def make_stratification(stratum_sizes, seed=0):
+    """A stratification with the given stratum sizes over shuffled ids."""
+    n = sum(stratum_sizes)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    strata = []
+    labels = np.empty(n, dtype=np.int64)
+    offset = 0
+    for s, size in enumerate(stratum_sizes):
+        members = np.sort(perm[offset : offset + size])
+        strata.append(members)
+        labels[members] = s
+        offset += size
+    return Stratification(labels=labels, strata=strata)
+
+
+def assert_exact_partition(parts, n, sizes):
+    allitems = np.concatenate([p for p in parts]) if parts else np.array([])
+    assert sorted(allitems.tolist()) == list(range(n))
+    assert [p.size for p in parts] == list(sizes)
+
+
+class TestEqualSizes:
+    def test_divisible(self):
+        assert equal_sizes(100, 4).tolist() == [25, 25, 25, 25]
+
+    def test_remainder_first(self):
+        assert equal_sizes(10, 3).tolist() == [4, 3, 3]
+
+    def test_zero_items(self):
+        assert equal_sizes(0, 3).tolist() == [0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equal_sizes(10, 0)
+        with pytest.raises(ValueError):
+            equal_sizes(-1, 2)
+
+
+class TestRepresentative:
+    def test_exact_partition(self):
+        strat = make_stratification([40, 30, 30])
+        sizes = [50, 30, 20]
+        parts = representative_partitions(strat, sizes, np.random.default_rng(0))
+        assert_exact_partition(parts, 100, sizes)
+
+    def test_stratum_proportions_preserved(self):
+        strat = make_stratification([60, 40])
+        sizes = [50, 50]
+        parts = representative_partitions(strat, sizes, np.random.default_rng(1))
+        for part in parts:
+            frac_stratum0 = np.mean(strat.labels[part] == 0)
+            assert abs(frac_stratum0 - 0.6) < 0.1
+
+    def test_unequal_sizes_still_representative(self):
+        strat = make_stratification([100, 100])
+        sizes = [150, 30, 20]
+        parts = representative_partitions(strat, sizes, np.random.default_rng(2))
+        assert_exact_partition(parts, 200, sizes)
+        big = parts[0]
+        assert abs(np.mean(strat.labels[big] == 0) - 0.5) < 0.1
+
+    def test_zero_size_partitions_allowed(self):
+        strat = make_stratification([10, 10])
+        parts = representative_partitions(strat, [0, 20, 0], np.random.default_rng(0))
+        assert_exact_partition(parts, 20, [0, 20, 0])
+
+    def test_wrong_total_rejected(self):
+        strat = make_stratification([10])
+        with pytest.raises(ValueError):
+            representative_partitions(strat, [4, 4], np.random.default_rng(0))
+
+    def test_negative_size_rejected(self):
+        strat = make_stratification([10])
+        with pytest.raises(ValueError):
+            representative_partitions(strat, [-2, 12], np.random.default_rng(0))
+
+    @given(
+        st.lists(st.integers(min_value=5, max_value=40), min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_partition_property(self, stratum_sizes, p):
+        n = sum(stratum_sizes)
+        strat = make_stratification(stratum_sizes, seed=1)
+        sizes = equal_sizes(n, p)
+        parts = representative_partitions(strat, sizes, np.random.default_rng(3))
+        assert_exact_partition(parts, n, sizes.tolist())
+
+
+class TestSimilar:
+    def test_exact_partition(self):
+        strat = make_stratification([25, 25, 50])
+        sizes = [40, 30, 30]
+        parts = similar_partitions(strat, sizes)
+        assert_exact_partition(parts, 100, sizes)
+
+    def test_keeps_strata_contiguous(self):
+        strat = make_stratification([50, 50])
+        parts = similar_partitions(strat, [50, 50])
+        # Perfect alignment: each partition is exactly one stratum.
+        assert set(strat.labels[parts[0]]) == {0}
+        assert set(strat.labels[parts[1]]) == {1}
+
+    def test_minimizes_strata_per_partition(self):
+        strat = make_stratification([30, 30, 40])
+        parts = similar_partitions(strat, [25, 25, 25, 25])
+        # Chunking a stratum-ordered list: each partition spans at most
+        # two strata here (a stratum boundary can split a chunk).
+        for part in parts:
+            assert len(set(strat.labels[part].tolist())) <= 2
+
+    def test_wrong_total_rejected(self):
+        strat = make_stratification([10])
+        with pytest.raises(ValueError):
+            similar_partitions(strat, [5])
+
+    def test_zero_size_partitions(self):
+        strat = make_stratification([10, 10])
+        parts = similar_partitions(strat, [0, 20, 0])
+        assert_exact_partition(parts, 20, [0, 20, 0])
+
+    @given(
+        st.lists(st.integers(min_value=3, max_value=30), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exact_partition_property(self, stratum_sizes, p):
+        n = sum(stratum_sizes)
+        strat = make_stratification(stratum_sizes, seed=2)
+        sizes = equal_sizes(n, p)
+        parts = similar_partitions(strat, sizes)
+        assert_exact_partition(parts, n, sizes.tolist())
+
+
+class TestBaselines:
+    def test_random_exact_partition(self):
+        parts = random_partitions(50, [20, 20, 10], np.random.default_rng(4))
+        assert_exact_partition(parts, 50, [20, 20, 10])
+
+    def test_random_differs_from_sorted(self):
+        parts = random_partitions(100, [50, 50], np.random.default_rng(5))
+        assert parts[0].tolist() != list(range(50))
+
+    def test_round_robin_deals_in_turn(self):
+        parts = round_robin_partitions(10, 3)
+        assert parts[0].tolist() == [0, 3, 6, 9]
+        assert parts[1].tolist() == [1, 4, 7]
+        assert parts[2].tolist() == [2, 5, 8]
+
+    def test_round_robin_exact_partition(self):
+        parts = round_robin_partitions(17, 4)
+        allitems = np.concatenate(parts)
+        assert sorted(allitems.tolist()) == list(range(17))
+
+    def test_round_robin_validation(self):
+        with pytest.raises(ValueError):
+            round_robin_partitions(10, 0)

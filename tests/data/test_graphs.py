@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic webgraph generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.graphs import WebGraphConfig, generate_webgraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_webgraph(WebGraphConfig(num_vertices=800, num_hosts=8, seed=4))
+
+
+class TestStructure:
+    def test_vertex_count(self, graph):
+        assert graph.num_vertices == 800
+        assert len(graph.adjacency) == 800
+
+    def test_no_self_loops(self, graph):
+        for v, nbrs in enumerate(graph.adjacency):
+            assert v not in nbrs
+
+    def test_neighbours_sorted_unique(self, graph):
+        for nbrs in graph.adjacency:
+            assert nbrs == sorted(set(nbrs))
+
+    def test_neighbours_in_range(self, graph):
+        for nbrs in graph.adjacency:
+            assert all(0 <= u < graph.num_vertices for u in nbrs)
+
+    def test_host_ranges_partition_vertices(self, graph):
+        covered = []
+        for lo, hi in graph.host_ranges:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(graph.num_vertices))
+
+    def test_host_of_matches_ranges(self, graph):
+        for h, (lo, hi) in enumerate(graph.host_ranges):
+            assert (graph.host_of[lo:hi] == h).all()
+
+
+class TestLocality:
+    def test_mostly_intra_host_links(self, graph):
+        intra = total = 0
+        for v, nbrs in enumerate(graph.adjacency):
+            for u in nbrs:
+                total += 1
+                intra += graph.host_of[u] == graph.host_of[v]
+        assert intra / total > 0.6
+
+    def test_low_locality_config(self):
+        g = generate_webgraph(
+            WebGraphConfig(num_vertices=400, num_hosts=8, intra_host_prob=0.0, copy_prob=0.0, seed=1)
+        )
+        intra = total = 0
+        for v, nbrs in enumerate(g.adjacency):
+            for u in nbrs:
+                total += 1
+                intra += g.host_of[u] == g.host_of[v]
+        assert intra / total < 0.5
+
+    def test_copying_creates_similar_neighbour_lists(self):
+        def mean_consecutive_overlap(copy_prob, seed):
+            g = generate_webgraph(
+                WebGraphConfig(
+                    num_vertices=400, num_hosts=4, copy_prob=copy_prob, seed=seed
+                )
+            )
+            overlaps = []
+            for v in range(1, g.num_vertices):
+                if g.host_of[v] == g.host_of[v - 1]:
+                    a, b = set(g.adjacency[v]), set(g.adjacency[v - 1])
+                    if a and b:
+                        overlaps.append(len(a & b) / len(a | b))
+            return np.mean(overlaps)
+
+        assert mean_consecutive_overlap(0.9, 2) > 1.5 * mean_consecutive_overlap(0.0, 2)
+
+
+class TestDegrees:
+    def test_heavy_tail(self, graph):
+        degrees = np.array([len(a) for a in graph.adjacency])
+        assert degrees.max() > 3 * degrees.mean()
+
+    def test_mean_degree_in_ballpark(self, graph):
+        degrees = np.array([len(a) for a in graph.adjacency])
+        assert 0.3 * 12 < degrees.mean() < 3 * 12
+
+
+class TestHostSizes:
+    def test_skewed_hosts(self, graph):
+        sizes = np.array([hi - lo for lo, hi in graph.host_ranges])
+        assert sizes.max() > 2 * sizes.min()
+
+    def test_sizes_sum_to_vertices(self, graph):
+        assert sum(hi - lo for lo, hi in graph.host_ranges) == graph.num_vertices
+
+
+class TestDeterminismAndValidation:
+    def test_deterministic(self):
+        config = WebGraphConfig(num_vertices=200, seed=11)
+        a = generate_webgraph(config)
+        b = generate_webgraph(config)
+        assert a.adjacency == b.adjacency
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            WebGraphConfig(num_vertices=5, num_hosts=10)
+        with pytest.raises(ValueError):
+            WebGraphConfig(intra_host_prob=1.5)
+        with pytest.raises(ValueError):
+            WebGraphConfig(copy_prob=-0.1)
+        with pytest.raises(ValueError):
+            WebGraphConfig(mean_degree=0.0)
+
+    def test_records_view(self, graph):
+        assert graph.records() is graph.adjacency

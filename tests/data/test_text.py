@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.text import CorpusConfig, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(num_docs=500, seed=3))
+
+
+class TestStructure:
+    def test_doc_count(self, corpus):
+        assert corpus.num_docs == 500
+
+    def test_tokens_in_vocab(self, corpus):
+        for doc in corpus.documents:
+            assert all(0 <= t < corpus.vocab_size for t in doc)
+
+    def test_docs_are_sorted_sets(self, corpus):
+        for doc in corpus.documents:
+            assert doc == sorted(set(doc))
+
+    def test_no_empty_documents(self, corpus):
+        assert all(len(doc) >= 1 for doc in corpus.documents)
+
+    def test_topic_labels_in_range(self, corpus):
+        assert corpus.topic_of.min() >= 0
+        assert corpus.topic_of.max() < 10
+
+
+class TestDistribution:
+    def test_background_tokens_most_frequent(self, corpus):
+        # Background slice (ids < 40) should dominate document frequency.
+        df = np.zeros(corpus.vocab_size)
+        for doc in corpus.documents:
+            df[doc] += 1
+        top20 = np.argsort(-df)[:20]
+        assert (top20 < 40).mean() > 0.6
+
+    def test_topic_skew(self, corpus):
+        counts = np.bincount(corpus.topic_of)
+        assert counts.max() > 2 * max(counts.min(), 1)
+
+    def test_same_topic_docs_more_similar(self, corpus):
+        rng = np.random.default_rng(0)
+        by_topic = {}
+        for i, t in enumerate(corpus.topic_of):
+            by_topic.setdefault(int(t), []).append(i)
+        big_topics = [t for t, docs in by_topic.items() if len(docs) >= 20]
+
+        def jac(a, b):
+            sa, sb = set(a), set(b)
+            return len(sa & sb) / len(sa | sb)
+
+        t0, t1 = big_topics[0], big_topics[1]
+        same, cross = [], []
+        for _ in range(200):
+            i, j = rng.choice(by_topic[t0], 2, replace=False)
+            same.append(jac(corpus.documents[i], corpus.documents[j]))
+            i = rng.choice(by_topic[t0])
+            j = rng.choice(by_topic[t1])
+            cross.append(jac(corpus.documents[i], corpus.documents[j]))
+        assert np.mean(same) > np.mean(cross)
+
+
+class TestDeterminismAndValidation:
+    def test_deterministic(self):
+        config = CorpusConfig(num_docs=50, seed=8)
+        assert generate_corpus(config).documents == generate_corpus(config).documents
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(num_docs=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(doc_length_mean=5, doc_length_spread=5)
+        with pytest.raises(ValueError):
+            CorpusConfig(vocab_size=100, tokens_per_topic=90, background_tokens=40)
+        with pytest.raises(ValueError):
+            CorpusConfig(background_prob=1.0)
+
+    def test_records_view(self, corpus):
+        assert corpus.records() is corpus.documents

@@ -1,0 +1,61 @@
+"""Unit tests for the planted-itemset transaction generator."""
+
+import pytest
+
+from repro.data.transactions import TransactionConfig, generate_transactions
+from repro.workloads.fpm.apriori import AprioriMiner
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_transactions(TransactionConfig(num_transactions=400, seed=5))
+
+
+class TestStructure:
+    def test_counts(self, data):
+        assert len(data.transactions) == 400
+        assert len(data.patterns) == 10
+
+    def test_transactions_sorted_unique_items(self, data):
+        for t in data.transactions:
+            assert t == sorted(set(t))
+            assert all(0 <= i < 200 for i in t)
+
+    def test_no_empty_transactions(self, data):
+        assert all(t for t in data.transactions)
+
+    def test_patterns_are_sorted_tuples(self, data):
+        for p in data.patterns:
+            assert p == tuple(sorted(set(p)))
+            assert len(p) >= 2
+
+
+class TestPlantedPatternsRecoverable(object):
+    def test_popular_plants_are_frequent(self, data):
+        # At a low support, mining should surface at least one planted
+        # pattern intact (the most popular ones appear in many baskets).
+        miner = AprioriMiner(min_support=0.05, max_len=4)
+        found = set(miner.mine(data.transactions).counts)
+        planted_hits = sum(
+            1
+            for p in data.patterns
+            if len(p) <= 4 and p in found
+        )
+        assert planted_hits >= 1
+
+
+class TestDeterminismAndValidation:
+    def test_deterministic(self):
+        config = TransactionConfig(num_transactions=50, seed=9)
+        a = generate_transactions(config)
+        b = generate_transactions(config)
+        assert a.transactions == b.transactions
+        assert a.patterns == b.patterns
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TransactionConfig(num_transactions=0)
+        with pytest.raises(ValueError):
+            TransactionConfig(corruption=1.0)
+        with pytest.raises(ValueError):
+            TransactionConfig(num_patterns=0)

@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic tree dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.trees import (
+    LabeledTree,
+    TreeDatasetConfig,
+    generate_tree_dataset,
+    tree_items,
+)
+from repro.stratify.prufer import prufer_sequence
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return generate_tree_dataset(TreeDatasetConfig(num_trees=120, seed=2))
+
+
+class TestValidity:
+    def test_count(self, trees):
+        assert len(trees) == 120
+
+    def test_all_trees_are_valid(self, trees):
+        # prufer_sequence validates root count, ranges and acyclicity.
+        for tree in trees:
+            prufer_sequence(tree.parent)
+
+    def test_labels_match_length(self, trees):
+        for tree in trees:
+            assert len(tree.labels) == len(tree.parent)
+
+    def test_sizes_in_configured_range(self):
+        config = TreeDatasetConfig(
+            num_trees=50, nodes_mean=20, nodes_spread=5, graft_fraction=0.2, seed=1
+        )
+        for tree in generate_tree_dataset(config):
+            # base size in [15, 25], graft adds up to ~20%.
+            assert 15 <= tree.num_nodes <= 25 * 1.25
+
+    def test_cluster_labels_assigned(self, trees):
+        clusters = {t.cluster for t in trees}
+        assert clusters <= set(range(8))
+        assert len(clusters) > 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        config = TreeDatasetConfig(num_trees=30, seed=7)
+        a = generate_tree_dataset(config)
+        b = generate_tree_dataset(config)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = generate_tree_dataset(TreeDatasetConfig(num_trees=30, seed=1))
+        b = generate_tree_dataset(TreeDatasetConfig(num_trees=30, seed=2))
+        assert a != b
+
+
+class TestClusterStructure:
+    def test_same_cluster_trees_share_labels(self, trees):
+        # Trees in one cluster draw labels from a 12-symbol alphabet;
+        # different clusters mostly use different alphabets.
+        by_cluster = {}
+        for t in trees:
+            by_cluster.setdefault(t.cluster, []).append(set(t.labels))
+        overlaps_within = []
+        for members in by_cluster.values():
+            if len(members) >= 2:
+                overlaps_within.append(
+                    len(members[0] & members[1]) / len(members[0] | members[1])
+                )
+        assert np.mean(overlaps_within) > 0.5
+
+    def test_skew_makes_clusters_uneven(self):
+        config = TreeDatasetConfig(num_trees=300, num_clusters=8, skew=1.2, seed=0)
+        counts = np.bincount(
+            [t.cluster for t in generate_tree_dataset(config)], minlength=8
+        )
+        assert counts.max() > 2 * max(counts.min(), 1)
+
+
+class TestValidation:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TreeDatasetConfig(num_trees=0)
+        with pytest.raises(ValueError):
+            TreeDatasetConfig(nodes_mean=4, nodes_spread=3)
+        with pytest.raises(ValueError):
+            TreeDatasetConfig(mutation_rate=1.5)
+        with pytest.raises(ValueError):
+            TreeDatasetConfig(labels_per_cluster=100, num_labels=50)
+
+    def test_labeled_tree_validation(self):
+        with pytest.raises(ValueError):
+            LabeledTree(parent=(-1, 0), labels=(1,))
+
+
+class TestItems:
+    def test_tree_items_form(self, trees):
+        items = tree_items(trees)
+        assert len(items) == len(trees)
+        parent, labels = items[0]
+        assert len(parent) == len(labels)

@@ -1,0 +1,129 @@
+"""Unit tests for the clear-sky solar model."""
+
+import numpy as np
+import pytest
+
+from repro.energy.solar import (
+    SolarModel,
+    SolarPanel,
+    clear_sky_irradiance,
+    cloud_attenuation,
+    solar_declination,
+    solar_elevation,
+)
+
+
+class TestGeometry:
+    def test_declination_bounds(self):
+        days = np.arange(1, 366)
+        decl = np.rad2deg(solar_declination(days))
+        assert decl.max() <= 23.45 + 1e-9
+        assert decl.min() >= -23.45 - 1e-9
+
+    def test_declination_solstices(self):
+        # Summer solstice (~day 172) near +23.45, winter (~day 355) near -23.45.
+        assert np.rad2deg(solar_declination(172)) > 23.3
+        assert np.rad2deg(solar_declination(355)) < -23.3
+
+    def test_elevation_peaks_at_noon(self):
+        hours = np.arange(0, 24, 0.5)
+        el = solar_elevation(40.0, 172, hours)
+        assert hours[np.argmax(el)] == 12.0
+
+    def test_elevation_negative_at_midnight(self):
+        assert solar_elevation(40.0, 172, 0.0) < 0
+
+
+class TestIrradiance:
+    def test_zero_at_night(self):
+        assert clear_sky_irradiance(40.0, 172, 0.0) == 0.0
+        assert clear_sky_irradiance(40.0, 172, 23.0) == 0.0
+
+    def test_positive_at_noon(self):
+        noon = clear_sky_irradiance(40.0, 172, 12.0)
+        assert 600.0 < float(noon) < 1100.0
+
+    def test_below_solar_constant(self):
+        hours = np.arange(0, 24, 0.25)
+        irr = clear_sky_irradiance(0.0, 80, hours)
+        assert (irr < 1353.0).all()
+
+    def test_summer_exceeds_winter_at_noon(self):
+        summer = clear_sky_irradiance(45.0, 172, 12.0)
+        winter = clear_sky_irradiance(45.0, 355, 12.0)
+        assert float(summer) > float(winter)
+
+    def test_vectorised_shape(self):
+        hours = np.linspace(0, 24, 97)
+        assert clear_sky_irradiance(40.0, 172, hours).shape == hours.shape
+
+
+class TestCloudAttenuation:
+    def test_clear_sky_unattenuated(self):
+        assert cloud_attenuation(0.0) == pytest.approx(1.0)
+
+    def test_overcast_floor(self):
+        assert cloud_attenuation(1.0) == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self):
+        w = np.linspace(0, 1, 50)
+        att = cloud_attenuation(w)
+        assert (np.diff(att) <= 0).all()
+
+    def test_clips_out_of_range(self):
+        assert cloud_attenuation(-0.5) == pytest.approx(1.0)
+        assert cloud_attenuation(2.0) == pytest.approx(0.25)
+
+
+class TestPanel:
+    def test_rated_output_at_stc(self):
+        panel = SolarPanel(rated_dc_watts=400.0, derate=1.0)
+        assert panel.output_watts(1000.0) == pytest.approx(400.0)
+
+    def test_derate_applies(self):
+        panel = SolarPanel(rated_dc_watts=400.0, derate=0.77)
+        assert panel.output_watts(1000.0) == pytest.approx(308.0)
+
+    def test_linear_in_irradiance(self):
+        panel = SolarPanel(rated_dc_watts=100.0, derate=1.0)
+        assert panel.output_watts(500.0) == pytest.approx(50.0)
+
+    def test_negative_irradiance_clipped(self):
+        assert SolarPanel().output_watts(-100.0) == 0.0
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            SolarPanel(rated_dc_watts=0.0)
+        with pytest.raises(ValueError):
+            SolarPanel(derate=0.0)
+        with pytest.raises(ValueError):
+            SolarPanel(derate=1.5)
+
+
+class TestGeophysicalSanity:
+    def test_equator_equinox_day_length_near_12h(self):
+        # At the equator on the equinox (~day 80), the sun is up ~12 h.
+        hours = np.arange(0, 24, 0.05)
+        irr = clear_sky_irradiance(0.0, 80, hours)
+        daylight_h = (irr > 0).mean() * 24.0
+        assert abs(daylight_h - 12.0) < 0.8
+
+    def test_high_latitude_summer_days_longer(self):
+        hours = np.arange(0, 24, 0.05)
+        north_summer = (clear_sky_irradiance(60.0, 172, hours) > 0).mean()
+        north_winter = (clear_sky_irradiance(60.0, 355, hours) > 0).mean()
+        assert north_summer > north_winter + 0.2
+
+
+class TestSolarModel:
+    def test_cloud_reduces_power(self):
+        model = SolarModel(latitude_deg=40.0)
+        clear = model.power(172, 12.0, 0.0)
+        cloudy = model.power(172, 12.0, 0.9)
+        assert float(cloudy) < float(clear)
+
+    def test_ideal_matches_zero_cloud(self):
+        model = SolarModel(latitude_deg=40.0)
+        assert float(model.ideal_power(172, 12.0)) == pytest.approx(
+            float(model.power(172, 12.0, 0.0))
+        )

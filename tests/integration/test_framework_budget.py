@@ -1,0 +1,54 @@
+"""Integration tests for budget planning and CSV export via the framework."""
+
+import pytest
+
+from repro.bench.harness import StrategyRunner
+from repro.bench.reporting import rows_to_csv
+from repro.core.budget import BudgetInfeasibleError
+from repro.core.strategies import HET_AWARE, STRATIFIED
+from repro.workloads.fpm.apriori import AprioriWorkload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return StrategyRunner.from_name(
+        "rcv1", lambda: AprioriWorkload(min_support=0.15, max_len=2), size_scale=0.4
+    )
+
+
+class TestPlanForBudget:
+    def test_loose_budget_is_fastest(self, runner):
+        pp, prep = runner.prepared_for(4)
+        fastest = pp.plan(prep, HET_AWARE)
+        plan = pp.plan_for_budget(prep, max_dirty_energy_j=1e12)
+        assert plan.predicted_makespan_s == pytest.approx(
+            fastest.predicted_makespan_s, rel=0.01
+        )
+
+    def test_tight_budget_respected(self, runner):
+        pp, prep = runner.prepared_for(4)
+        fastest = pp.plan(prep, HET_AWARE)
+        budget = 0.6 * fastest.predicted_dirty_energy_j
+        plan = pp.plan_for_budget(prep, budget)
+        assert plan.predicted_dirty_energy_j <= budget * 1.001
+        assert plan.sizes.sum() == prep.num_items
+
+    def test_impossible_budget_raises(self, runner):
+        pp, prep = runner.prepared_for(4)
+        greenest = prep.optimizer.solve(prep.num_items, 0.0)
+        floor = greenest.predicted_dirty_energy_j
+        if floor <= 0:
+            pytest.skip("cluster has a fully green node; no positive floor")
+        with pytest.raises(BudgetInfeasibleError):
+            pp.plan_for_budget(prep, 0.5 * floor)
+
+
+class TestCsvExport:
+    def test_rows_roundtrip_through_csv(self, runner, tmp_path):
+        rows = runner.compare([STRATIFIED, HET_AWARE], [4])
+        path = tmp_path / "rows.csv"
+        rows_to_csv(rows, path)
+        text = path.read_text().splitlines()
+        assert text[0].startswith("dataset,workload,partitions,strategy")
+        assert len(text) == 3
+        assert "Het-Aware" in text[2]

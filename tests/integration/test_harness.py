@@ -1,0 +1,91 @@
+"""Tests for the bench harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentRow, StrategyRunner
+from repro.bench.reporting import format_frontier, format_table, improvement
+from repro.core.strategies import HET_AWARE, STRATIFIED
+from repro.workloads.fpm.apriori import AprioriWorkload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return StrategyRunner.from_name(
+        "rcv1",
+        lambda: AprioriWorkload(min_support=0.15, max_len=2),
+        size_scale=0.3,
+    )
+
+
+class TestStrategyRunner:
+    def test_row_fields(self, runner):
+        row = runner.row(STRATIFIED, 4)
+        assert row.dataset == "rcv1"
+        assert row.partitions == 4
+        assert row.strategy == "Stratified"
+        assert row.makespan_s > 0
+        assert row.dirty_energy_kj >= 0
+        assert sum(row.sizes) == len(runner.dataset)
+
+    def test_quality_fields_for_mining(self, runner):
+        row = runner.row(STRATIFIED, 4)
+        assert "false_positives" in row.quality
+        assert "frequent" in row.quality
+
+    def test_compare_cross_product(self, runner):
+        rows = runner.compare([STRATIFIED, HET_AWARE], [4])
+        assert len(rows) == 2
+        assert {r.strategy for r in rows} == {"Stratified", "Het-Aware"}
+
+    def test_prepared_state_cached(self, runner):
+        pp1, prep1 = runner.prepared_for(4)
+        pp2, prep2 = runner.prepared_for(4)
+        assert prep1 is prep2 and pp1 is pp2
+
+    def test_as_dict_rounding(self, runner):
+        d = runner.row(STRATIFIED, 4).as_dict()
+        assert isinstance(d["makespan_s"], float)
+        assert d["alpha"] is None
+
+
+class TestReporting:
+    def test_format_table_contains_rows(self, runner):
+        rows = runner.compare([STRATIFIED], [4])
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "Stratified" in text
+        assert "makespan_s" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_frontier(self):
+        text = format_frontier(
+            [(1.0, 2.0, 3.0), (0.5, 4.0, 1.0)], baseline=(3.0, 2.0), title="f"
+        )
+        assert "alpha" in text
+        assert "base" in text
+        assert text.count("\n") == 4
+
+    def test_improvement(self):
+        assert improvement(10.0, 5.0) == pytest.approx(50.0)
+        assert improvement(10.0, 12.0) == pytest.approx(-20.0)
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)
+
+
+class TestExperimentRowShape:
+    def test_manual_row(self):
+        row = ExperimentRow(
+            dataset="x",
+            workload="w",
+            partitions=2,
+            strategy="s",
+            alpha=0.5,
+            makespan_s=1.0,
+            dirty_energy_kj=2.0,
+            energy_kj=3.0,
+        )
+        d = row.as_dict()
+        assert d["alpha"] == 0.5
+        assert d["energy_kj"] == 3.0

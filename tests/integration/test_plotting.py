@@ -1,0 +1,51 @@
+"""Tests for the ASCII frontier plotting."""
+
+import pytest
+
+from repro.bench.plotting import ascii_scatter
+
+
+def grid_body(plot: str) -> str:
+    """The plotted area only (excludes axis labels and legend)."""
+    return "\n".join(
+        line for line in plot.splitlines() if line.lstrip().startswith("│")
+    )
+
+
+class TestAsciiScatter:
+    def test_contains_markers(self):
+        plot = ascii_scatter(
+            [(1.0, 5.0), (2.0, 3.0), (5.0, 1.0), (4.0, 4.0)],
+            baseline=(4.5, 4.5),
+        )
+        body = grid_body(plot)
+        assert "o" in body  # efficient points
+        assert "*" in body  # the dominated (4, 4) point
+        assert "B" in body
+
+    def test_all_efficient_no_stars(self):
+        body = grid_body(ascii_scatter([(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]))
+        assert "o" in body
+        assert "*" not in body
+
+    def test_title_and_labels(self):
+        plot = ascii_scatter([(1, 1)], title="demo", xlabel="t", ylabel="e")
+        assert plot.startswith("demo")
+        assert "e" in plot
+
+    def test_degenerate_single_point(self):
+        assert "o" in grid_body(ascii_scatter([(2.0, 2.0)]))
+
+    def test_identical_points(self):
+        assert "o" in grid_body(ascii_scatter([(1.0, 1.0), (1.0, 1.0)]))
+
+    def test_dimensions(self):
+        plot = ascii_scatter([(0, 0), (10, 10)], width=30, height=10)
+        body_rows = [l for l in plot.splitlines() if l.lstrip().startswith("│")]
+        assert len(body_rows) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([])
+        with pytest.raises(ValueError):
+            ascii_scatter([(1, 1)], width=2)

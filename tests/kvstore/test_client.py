@@ -1,0 +1,90 @@
+"""Unit tests for the cluster client (manual key→node placement)."""
+
+import pytest
+
+from repro.kvstore.client import ClusterClient
+from repro.kvstore.store import StoreError
+
+
+@pytest.fixture()
+def client():
+    return ClusterClient(num_nodes=4)
+
+
+class TestRouting:
+    def test_one_store_per_node(self, client):
+        assert len(client.stores) == 4
+        assert [s.node_id for s in client.stores] == [0, 1, 2, 3]
+
+    def test_store_for_bounds(self, client):
+        with pytest.raises(StoreError):
+            client.store_for(4)
+        with pytest.raises(StoreError):
+            client.store_for(-1)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(StoreError):
+            ClusterClient(num_nodes=0)
+
+    def test_data_stays_on_target_node(self, client):
+        client.put_partition(2, 0, [[1, 2, 3]])
+        assert client.store_for(2).dbsize() > 0
+        for other in (0, 1, 3):
+            assert client.store_for(other).dbsize() == 0
+
+
+class TestPartitionMovement:
+    def test_put_get_roundtrip(self, client):
+        records = [[1, 2, 3], [], [7]]
+        stored = client.put_partition(1, 5, records)
+        assert stored == 3
+        assert client.get_partition(1, 5) == records
+
+    def test_put_overwrites_previous(self, client):
+        client.put_partition(0, 1, [[1]])
+        client.put_partition(0, 1, [[2, 3]])
+        assert client.get_partition(0, 1) == [[2, 3]]
+
+    def test_get_item_by_index(self, client):
+        client.put_partition(0, 0, [[1], [2, 2], [3]])
+        assert client.get_item(0, 0, 1) == [2, 2]
+        assert client.get_item(0, 0, 99) is None
+
+    def test_partition_size(self, client):
+        client.put_partition(3, 7, [[1], [2]])
+        assert client.partition_size(3, 7) == 2
+        assert client.partition_size(3, 99) == 0
+
+    def test_drop_partition(self, client):
+        client.put_partition(0, 0, [[1]])
+        client.drop_partition(0, 0)
+        assert client.get_partition(0, 0) == []
+        assert client.store_for(0).hget("partition:0:meta", "count") is None
+
+    def test_metadata_written(self, client):
+        client.put_partition(2, 9, [[1], [2], [3]])
+        store = client.store_for(2)
+        assert store.hget("partition:9:meta", "count") == 3
+        assert store.hget("partition:9:meta", "node") == 2
+
+    def test_whole_partition_fetch_is_single_round_trip(self, client):
+        client.put_partition(0, 0, [[i] for i in range(200)])
+        store = client.store_for(0)
+        before = store.stats.round_trips
+        client.get_partition(0, 0)
+        assert store.stats.round_trips == before + 1
+
+
+class TestAggregates:
+    def test_total_round_trips_sums_nodes(self, client):
+        client.put_partition(0, 0, [[1]])
+        client.put_partition(1, 1, [[2]])
+        assert client.total_round_trips() == sum(
+            s.stats.round_trips for s in client.stores
+        )
+
+    def test_flushall_clears_every_node(self, client):
+        for node in range(4):
+            client.put_partition(node, node, [[node]])
+        client.flushall()
+        assert all(s.dbsize() == 0 for s in client.stores)

@@ -1,0 +1,115 @@
+"""Tests for byte accounting and the network cost model."""
+
+import pytest
+
+from repro.kvstore.client import ClusterClient
+from repro.kvstore.network import NetworkModel, snapshot
+from repro.kvstore.pipeline import Pipeline
+from repro.kvstore.store import KeyValueStore, _payload_bytes
+
+
+class TestPayloadBytes:
+    def test_bytes(self):
+        assert _payload_bytes(b"abcd") == 4
+
+    def test_str(self):
+        assert _payload_bytes("héllo") == len("héllo".encode())
+
+    def test_int(self):
+        assert _payload_bytes(0) == 1
+        assert _payload_bytes(255) == 1
+        assert _payload_bytes(256) == 2
+
+    def test_containers(self):
+        assert _payload_bytes([b"ab", b"c"]) == 3
+        assert _payload_bytes({"k": b"abc"}) == 1 + 3
+
+
+class TestByteAccounting:
+    def test_set_get_counted(self):
+        store = KeyValueStore()
+        store.set("k", b"x" * 100)
+        store.get("k")
+        assert store.stats.bytes_moved == 200
+
+    def test_lrange_counts_slice_only(self):
+        store = KeyValueStore()
+        store.rpush("l", b"a" * 10, b"b" * 10)
+        before = store.stats.bytes_moved
+        store.lrange("l", 0, 0)
+        assert store.stats.bytes_moved == before + 10
+
+    def test_llen_moves_nothing(self):
+        store = KeyValueStore()
+        store.rpush("l", b"a" * 50)
+        before = store.stats.bytes_moved
+        store.llen("l")
+        assert store.stats.bytes_moved == before
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        net = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=1000.0)
+        assert net.transfer_time_s(10, 500) == pytest.approx(0.01 + 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time_s(-1, 0)
+
+    def test_store_and_client_time(self):
+        client = ClusterClient(num_nodes=2)
+        client.put_partition(0, 0, [[1, 2, 3]] * 10)
+        net = NetworkModel()
+        assert net.client_time_s(client) == pytest.approx(
+            sum(net.store_time_s(s) for s in client.stores)
+        )
+        assert net.client_time_s(client) > 0
+
+    def test_delta_accounting(self):
+        store = KeyValueStore()
+        store.set("a", b"x" * 100)
+        before = snapshot(store)
+        store.set("b", b"y" * 50)
+        net = NetworkModel(latency_s=1.0, bandwidth_bytes_per_s=50.0)
+        assert net.delta_time_s(before, store.stats) == pytest.approx(1.0 + 1.0)
+
+
+class TestPaperClaims:
+    def test_pipelining_cuts_latency_cost(self):
+        """The §IV claim: batching requests up to the pipeline width
+        substantially improves response times on a latency-bound link."""
+        net = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=1e9)
+
+        naive = KeyValueStore()
+        for i in range(500):
+            naive.rpush("l", b"x" * 20)
+        piped = KeyValueStore()
+        with Pipeline(piped, width=0) as pipe:
+            for i in range(500):
+                pipe.rpush("l", b"x" * 20)
+        assert net.store_time_s(piped) < 0.05 * net.store_time_s(naive)
+
+    def test_single_get_partition_beats_per_item_gets(self):
+        """The §IV claim: the list layout fetches a whole partition in
+        one request instead of one per item."""
+        net = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=1e9)
+        records = [[i, i + 1, i + 2] for i in range(300)]
+
+        batched = ClusterClient(num_nodes=1)
+        batched.put_partition(0, 0, records)
+        before = snapshot(batched.store_for(0))
+        batched.get_partition(0, 0)
+        batched_time = net.delta_time_s(before, batched.store_for(0).stats)
+
+        itemised = ClusterClient(num_nodes=1)
+        itemised.put_partition(0, 0, records)
+        before = snapshot(itemised.store_for(0))
+        for i in range(len(records)):
+            itemised.get_item(0, 0, i)
+        itemised_time = net.delta_time_s(before, itemised.store_for(0).stats)
+
+        assert batched_time < 0.05 * itemised_time

@@ -1,0 +1,57 @@
+"""Unit and property tests for dataset-item flattening."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.serializers import deserialize_item, serialize_item
+
+
+class TestTreeItems:
+    def test_roundtrip(self):
+        item = ((-1, 0, 0, 1), (5, 6, 7, 8))
+        flat = serialize_item("tree", item)
+        assert deserialize_item("tree", flat) == item
+
+    def test_root_shift_is_nonnegative(self):
+        flat = serialize_item("tree", ((-1,), (3,)))
+        assert all(v >= 0 for v in flat)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            serialize_item("tree", ((-1, 0), (1,)))
+
+    def test_bad_flat_length_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_item("tree", [2, 0, 1])
+
+    def test_empty_flat_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_item("tree", [])
+
+    @given(
+        st.integers(min_value=1, max_value=20).flatmap(
+            lambda n: st.tuples(
+                st.just(tuple([-1] + [0] * (n - 1))),
+                st.lists(
+                    st.integers(min_value=0, max_value=100), min_size=n, max_size=n
+                ).map(tuple),
+            )
+        )
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, item):
+        assert deserialize_item("tree", serialize_item("tree", item)) == item
+
+
+class TestFlatKinds:
+    @pytest.mark.parametrize("kind", ["graph", "text", "set"])
+    def test_identity_roundtrip(self, kind):
+        values = [3, 1, 4, 1, 5]
+        assert deserialize_item(kind, serialize_item(kind, values)) == values
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            serialize_item("audio", [1])
+        with pytest.raises(ValueError):
+            deserialize_item("audio", [1])

@@ -1,0 +1,81 @@
+"""Tests for the distributed stratification pipeline (paper Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import paper_cluster
+from repro.data.text import CorpusConfig, generate_corpus
+from repro.stratify.distributed import DistributedStratifier
+from repro.stratify.stratifier import Stratifier
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return generate_corpus(CorpusConfig(num_docs=200, num_topics=4, seed=7)).documents
+
+
+class TestDistributedStratifier:
+    def test_matches_centralized_result(self, documents):
+        """The distributed plan is an execution detail: labels must be
+        identical to the centralized stratifier's."""
+        cluster = paper_cluster(4, seed=0)
+        central = Stratifier(kind="text", num_strata=4, num_hashes=32, seed=3)
+        distributed = DistributedStratifier(
+            cluster=cluster, kind="text", num_strata=4, num_hashes=32, seed=3
+        )
+        a = central.stratify(documents)
+        b = distributed.stratify(documents)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_phases_recorded(self, documents):
+        cluster = paper_cluster(4, seed=0)
+        ds = DistributedStratifier(cluster=cluster, kind="text", num_strata=4, seed=0)
+        ds.stratify(documents)
+        assert ds.phases_completed == ["pivots", "sketches", "clustering"]
+
+    def test_sketches_staged_on_every_node(self, documents):
+        cluster = paper_cluster(4, seed=0)
+        ds = DistributedStratifier(cluster=cluster, kind="text", num_strata=4, seed=0)
+        ds.stratify(documents)
+        for node in range(4):
+            store = cluster.kv.store_for(node)
+            assert store.exists(f"sketches:{node}")
+            assert store.exists(f"sketch-index:{node}")
+
+    def test_barrier_counters_on_master(self, documents):
+        cluster = paper_cluster(4, seed=0)
+        master, _ = cluster.master_nodes()
+        ds = DistributedStratifier(cluster=cluster, kind="text", num_strata=4, seed=0)
+        ds.stratify(documents)
+        store = cluster.kv.store_for(master.node_id)
+        # Two barrier generations, each with 4 arrivals.
+        assert store.get("stratify:gen:0:arrivals") == 4
+        assert store.get("stratify:gen:1:arrivals") == 4
+
+    def test_single_node_cluster(self, documents):
+        cluster = paper_cluster(1, seed=0)
+        ds = DistributedStratifier(cluster=cluster, kind="text", num_strata=4, seed=0)
+        strat = ds.stratify(documents)
+        assert strat.num_items == len(documents)
+
+    def test_empty_rejected(self):
+        cluster = paper_cluster(2, seed=0)
+        ds = DistributedStratifier(cluster=cluster, kind="text", num_strata=4)
+        with pytest.raises(ValueError):
+            ds.stratify([])
+
+    def test_worker_errors_propagate(self):
+        cluster = paper_cluster(2, seed=0)
+        ds = DistributedStratifier(cluster=cluster, kind="graph", num_strata=2)
+        # Graph extractor will fail on non-iterable items.
+        with pytest.raises(TypeError):
+            ds.stratify([1, 2, 3, 4])
+
+    def test_tree_items_supported(self):
+        from repro.data.trees import TreeDatasetConfig, generate_tree_dataset, tree_items
+
+        items = tree_items(generate_tree_dataset(TreeDatasetConfig(num_trees=40, seed=1)))
+        cluster = paper_cluster(4, seed=0)
+        ds = DistributedStratifier(cluster=cluster, kind="tree", num_strata=4, seed=0)
+        strat = ds.stratify(items)
+        assert strat.num_items == 40

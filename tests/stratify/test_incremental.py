@@ -1,0 +1,68 @@
+"""Tests for incremental stratum assignment (amortized one-time cost)."""
+
+import numpy as np
+import pytest
+
+from repro.data.text import CorpusConfig, generate_corpus
+from repro.stratify.stratifier import Stratification, Stratifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_corpus(CorpusConfig(num_docs=400, num_topics=4, seed=9))
+    stratifier = Stratifier(kind="text", num_strata=4, num_hashes=48, seed=2)
+    base_docs = corpus.documents[:300]
+    new_docs = corpus.documents[300:]
+    stratification = stratifier.stratify(base_docs)
+    return corpus, stratifier, base_docs, new_docs, stratification
+
+
+class TestAssignNew:
+    def test_labels_in_range(self, setup):
+        _, stratifier, _, new_docs, strat = setup
+        labels = stratifier.assign_new(strat, new_docs)
+        assert labels.shape == (len(new_docs),)
+        assert labels.min() >= 0
+        assert labels.max() < strat.num_strata
+
+    def test_empty_new_items(self, setup):
+        _, stratifier, _, _, strat = setup
+        assert stratifier.assign_new(strat, []).size == 0
+
+    def test_refit_items_land_in_own_stratum(self, setup):
+        """Assigning the *training* items back must reproduce their own
+        stratum labels (centres match their members)."""
+        _, stratifier, base_docs, _, strat = setup
+        labels = stratifier.assign_new(strat, base_docs)
+        agreement = float(np.mean(labels == strat.labels))
+        assert agreement > 0.9
+
+    def test_new_items_follow_topics(self, setup):
+        """New documents of a planted topic should mostly land in the
+        stratum that holds that topic's training documents."""
+        corpus, stratifier, base_docs, new_docs, strat = setup
+        new_labels = stratifier.assign_new(strat, new_docs)
+        topics_base = corpus.topic_of[: len(base_docs)]
+        topics_new = corpus.topic_of[len(base_docs):]
+        # Map each stratum to its dominant training topic.
+        dominant = {}
+        for s, members in enumerate(strat.strata):
+            dominant[s] = int(np.bincount(topics_base[members]).argmax())
+        hits = sum(
+            1
+            for label, topic in zip(new_labels, topics_new)
+            if dominant[int(label)] == int(topic)
+        )
+        assert hits / len(new_docs) > 0.5
+
+    def test_requires_kmodes_state(self, setup):
+        _, stratifier, _, new_docs, strat = setup
+        stripped = Stratification(labels=strat.labels, strata=strat.strata, kmodes=None)
+        with pytest.raises(ValueError):
+            stratifier.assign_new(stripped, new_docs)
+
+    def test_deterministic(self, setup):
+        _, stratifier, _, new_docs, strat = setup
+        a = stratifier.assign_new(strat, new_docs)
+        b = stratifier.assign_new(strat, new_docs)
+        assert np.array_equal(a, b)

@@ -1,0 +1,118 @@
+"""Unit and property tests for clustering quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stratify.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    partition_label_entropy,
+)
+
+labels_strategy = st.lists(
+    st.integers(min_value=0, max_value=4), min_size=2, max_size=60
+)
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        labels = [0, 0, 1, 1, 2]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [5, 5, 3, 3, 9, 9]
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_partial_agreement_between(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 1]
+        ari = adjusted_rand_index(a, b)
+        assert 0.0 < ari < 1.0
+
+    def test_single_cluster_each(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 1, 1]) == pytest.approx(1.0)
+
+    @given(labels_strategy)
+    @settings(max_examples=40)
+    def test_self_ari_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(labels_strategy, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40)
+    def test_symmetric(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 3, size=len(labels))
+        assert adjusted_rand_index(labels, other) == pytest.approx(
+            adjusted_rand_index(other, labels)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([], [])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([-1, 0], [0, 0])
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        assert normalized_mutual_information([0, 1, 0, 1], [0, 1, 0, 1]) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        assert normalized_mutual_information([0, 0, 1], [7, 7, 2]) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=3000)
+        b = rng.integers(0, 3, size=3000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    @given(labels_strategy, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40)
+    def test_bounded(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 3, size=len(labels))
+        nmi = normalized_mutual_information(labels, other)
+        assert 0.0 <= nmi <= 1.0
+
+    def test_constant_labels(self):
+        assert normalized_mutual_information([0, 0, 0], [0, 0, 0]) == pytest.approx(1.0)
+
+
+class TestPartitionEntropy:
+    def test_pure_partitions_zero(self):
+        labels = np.array([0, 0, 1, 1])
+        parts = [np.array([0, 1]), np.array([2, 3])]
+        assert partition_label_entropy(parts, labels) == pytest.approx(0.0)
+
+    def test_mixed_partitions_positive(self):
+        labels = np.array([0, 1, 0, 1])
+        parts = [np.array([0, 1]), np.array([2, 3])]
+        assert partition_label_entropy(parts, labels) == pytest.approx(np.log(2))
+
+    def test_similar_lower_than_mixed(self):
+        labels = np.array([0] * 50 + [1] * 50)
+        similar = [np.arange(50), np.arange(50, 100)]
+        mixed = [np.arange(0, 100, 2), np.arange(1, 100, 2)]
+        assert partition_label_entropy(similar, labels) < partition_label_entropy(
+            mixed, labels
+        )
+
+    def test_empty_partitions_skipped(self):
+        labels = np.array([0, 0])
+        parts = [np.array([], dtype=int), np.array([0, 1])]
+        assert partition_label_entropy(parts, labels) == pytest.approx(0.0)
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            partition_label_entropy([np.array([], dtype=int)], np.array([0]))

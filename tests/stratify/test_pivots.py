@@ -1,0 +1,96 @@
+"""Unit tests for domain-specific pivot extraction."""
+
+import pytest
+
+from repro.stratify.pivots import (
+    UNIVERSE_SIZE,
+    PivotExtractor,
+    graph_pivots,
+    stable_pivot_id,
+    text_pivots,
+    tree_pivots,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_pivot_id(1, 2, 3) == stable_pivot_id(1, 2, 3)
+
+    def test_order_sensitive(self):
+        assert stable_pivot_id(1, 2, 3) != stable_pivot_id(3, 2, 1)
+
+    def test_in_universe(self):
+        for args in [(0,), (1, 2), (10**9, 10**9, 10**9)]:
+            assert 0 <= stable_pivot_id(*args) < UNIVERSE_SIZE
+
+    def test_spreads_values(self):
+        ids = {stable_pivot_id(i) for i in range(1000)}
+        assert len(ids) == 1000  # no collisions over a small range
+
+
+class TestTreePivots:
+    def test_nonempty_for_small_tree(self):
+        pivots = tree_pivots([-1, 0], [1, 2])
+        assert pivots
+
+    def test_identical_trees_share_all_pivots(self):
+        parent = [-1, 0, 0, 1, 1]
+        labels = [1, 2, 3, 4, 5]
+        assert tree_pivots(parent, labels) == tree_pivots(parent, labels)
+
+    def test_label_based_so_node_ids_irrelevant(self):
+        # The same labelled structure with permuted node ids.
+        a = tree_pivots([-1, 0, 0], [9, 5, 5])
+        b = tree_pivots([1, -1, 1], [5, 9, 5])
+        assert a & b  # shared structure => shared pivots
+
+    def test_similar_trees_overlap_more_than_dissimilar(self):
+        parent = [-1, 0, 0, 1, 1, 2, 2]
+        base = tree_pivots(parent, [1, 2, 3, 4, 5, 6, 7])
+        similar = tree_pivots(parent, [1, 2, 3, 4, 5, 6, 9])  # one label changed
+        different = tree_pivots(parent, [11, 12, 13, 14, 15, 16, 17])
+        assert len(base & similar) > len(base & different)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            tree_pivots([-1, 0], [1])
+
+
+class TestGraphTextPivots:
+    def test_graph_pivots_size(self):
+        assert len(graph_pivots([1, 2, 3])) == 3
+
+    def test_graph_pivots_set_semantics(self):
+        assert graph_pivots([1, 1, 2]) == graph_pivots([2, 1])
+
+    def test_text_pivots_deterministic(self):
+        assert text_pivots([10, 20]) == text_pivots([20, 10])
+
+    def test_domains_do_not_collide(self):
+        # The same raw id hashes differently per domain tag.
+        assert graph_pivots([42]) != text_pivots([42])
+
+
+class TestPivotExtractor:
+    def test_tree_kind(self):
+        ex = PivotExtractor("tree")
+        assert ex(([-1, 0], [1, 2])) == tree_pivots([-1, 0], [1, 2])
+
+    def test_graph_kind(self):
+        assert PivotExtractor("graph")([1, 2]) == graph_pivots([1, 2])
+
+    def test_text_kind(self):
+        assert PivotExtractor("text")([5]) == text_pivots([5])
+
+    def test_set_kind_passthrough(self):
+        assert PivotExtractor("set")([3, 1]) == {1, 3}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PivotExtractor("audio")
+
+    def test_extract_all_preserves_order(self):
+        ex = PivotExtractor("text")
+        docs = [[1], [2], [3]]
+        out = ex.extract_all(docs)
+        assert out == [text_pivots(d) for d in docs]

@@ -1,0 +1,123 @@
+"""Unit and property tests for Prüfer sequences and tree helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stratify.prufer import (
+    adjacency_from_parents,
+    depths_from_parents,
+    lca,
+    prufer_sequence,
+    tree_from_prufer,
+)
+
+
+def random_parent_array(seq):
+    """Build a valid parent array from a Prüfer code (hypothesis helper)."""
+    return tree_from_prufer(list(seq))
+
+
+class TestPruferSequence:
+    def test_path_graph(self):
+        # Path 0-1-2-3 rooted at 3: pruning leaves 0,1 emits their parents.
+        parent = [1, 2, 3, -1]
+        assert prufer_sequence(parent) == [1, 2]
+
+    def test_star_graph(self):
+        # Star centred at 0; every pruned leaf emits the centre.
+        parent = [-1, 0, 0, 0, 0]
+        assert prufer_sequence(parent) == [0, 0, 0]
+
+    def test_tiny_trees_have_empty_sequence(self):
+        assert prufer_sequence([-1]) == []
+        assert prufer_sequence([1, -1]) == []
+
+    def test_sequence_length_is_n_minus_2(self):
+        parent = [-1, 0, 0, 1, 1, 2]
+        assert len(prufer_sequence(parent)) == 4
+
+    def test_rejects_multiple_roots(self):
+        with pytest.raises(ValueError):
+            prufer_sequence([-1, -1, 0])
+
+    def test_rejects_no_root(self):
+        with pytest.raises(ValueError):
+            prufer_sequence([1, 0])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(ValueError):
+            prufer_sequence([-1, 5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            prufer_sequence([])
+
+
+class TestTreeFromPrufer:
+    def test_known_decoding(self):
+        # Prüfer [0, 0, 0] over 5 nodes is the star centred at 0.
+        parent = tree_from_prufer([0, 0, 0])
+        adj = adjacency_from_parents(parent)
+        assert sorted(len(a) for a in adj) == [1, 1, 1, 1, 4]
+        assert len(adj[0]) == 4
+
+    def test_small_n(self):
+        assert tree_from_prufer([], n=1) == [-1]
+        assert tree_from_prufer([], n=2) == [1, -1]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            tree_from_prufer([0], n=5)
+
+    def test_rejects_out_of_range_entries(self):
+        with pytest.raises(ValueError):
+            tree_from_prufer([9], n=3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=2, max_size=8))
+    @settings(max_examples=100)
+    def test_encode_decode_identity(self, seq):
+        # Valid codes have entries < n = len(seq) + 2; clamp accordingly.
+        n = len(seq) + 2
+        seq = [s % n for s in seq]
+        parent = tree_from_prufer(seq, n)
+        assert prufer_sequence(parent) == seq
+
+
+class TestTreeHelpers:
+    def test_depths(self):
+        parent = [-1, 0, 0, 1, 3]
+        assert depths_from_parents(parent).tolist() == [0, 1, 1, 2, 3]
+
+    def test_depths_root_only(self):
+        assert depths_from_parents([-1]).tolist() == [0]
+
+    def test_lca_simple(self):
+        parent = np.array([-1, 0, 0, 1, 1, 2])
+        depth = depths_from_parents(parent)
+        assert lca(parent, depth, 3, 4) == 1
+        assert lca(parent, depth, 3, 5) == 0
+        assert lca(parent, depth, 3, 1) == 1
+        assert lca(parent, depth, 0, 5) == 0
+
+    def test_lca_of_node_with_itself(self):
+        parent = np.array([-1, 0, 1])
+        depth = depths_from_parents(parent)
+        assert lca(parent, depth, 2, 2) == 2
+
+    def test_adjacency_symmetric(self):
+        parent = [-1, 0, 0, 1]
+        adj = adjacency_from_parents(parent)
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ValueError):
+            adjacency_from_parents([-1, 1])
+
+    def test_rejects_cycle(self):
+        # 1 -> 2 -> 3 -> 1 cycle beside root 0.
+        with pytest.raises(ValueError):
+            prufer_sequence([-1, 2, 3, 1])

@@ -1,0 +1,133 @@
+"""Unit tests for Apriori mining and the counting scan."""
+
+import pytest
+
+from repro.workloads.fpm.apriori import (
+    AprioriMiner,
+    AprioriWorkload,
+    CandidateCountWorkload,
+    count_patterns,
+)
+
+# A textbook example: 4 transactions over items {1,2,3,5}.
+TX = [
+    [1, 3, 4],
+    [2, 3, 5],
+    [1, 2, 3, 5],
+    [2, 5],
+]
+
+
+class TestMinerKnownExample:
+    def test_frequent_itemsets_support_half(self):
+        counts = AprioriMiner(min_support=0.5).mine(TX).counts
+        expected = {
+            (1,): 2,
+            (2,): 3,
+            (3,): 3,
+            (5,): 3,
+            (1, 3): 2,
+            (2, 3): 2,
+            (2, 5): 3,
+            (3, 5): 2,
+            (2, 3, 5): 2,
+        }
+        assert counts == expected
+
+    def test_support_threshold_is_ceiling(self):
+        # 0.6 of 4 transactions → min count 3.
+        counts = AprioriMiner(min_support=0.6).mine(TX).counts
+        assert set(counts) == {(2,), (3,), (5,), (2, 5)}
+
+    def test_support_one_returns_items_in_all_transactions(self):
+        tx = [[1, 2], [1, 2, 3], [1, 2]]
+        counts = AprioriMiner(min_support=1.0).mine(tx).counts
+        assert set(counts) == {(1,), (2,), (1, 2)}
+
+    def test_max_len_caps_pattern_size(self):
+        counts = AprioriMiner(min_support=0.5, max_len=1).mine(TX).counts
+        assert all(len(p) == 1 for p in counts)
+
+    def test_empty_transactions(self):
+        out = AprioriMiner(min_support=0.5).mine([])
+        assert out.counts == {}
+        assert out.work_units == 0.0
+
+    def test_patterns_are_sorted_tuples(self):
+        counts = AprioriMiner(min_support=0.25).mine(TX).counts
+        for p in counts:
+            assert p == tuple(sorted(p))
+
+    def test_downward_closure(self):
+        # Every subset of a frequent pattern is frequent (Apriori property).
+        counts = AprioriMiner(min_support=0.5).mine(TX).counts
+        for p in counts:
+            for i in range(len(p)):
+                sub = p[:i] + p[i + 1 :]
+                if sub:
+                    assert sub in counts
+
+    def test_work_units_grow_with_candidates(self):
+        small = AprioriMiner(min_support=0.9).mine(TX)
+        large = AprioriMiner(min_support=0.25).mine(TX)
+        assert large.work_units > small.work_units
+        assert large.candidates_generated >= small.candidates_generated
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            AprioriMiner(min_support=0.0)
+        with pytest.raises(ValueError):
+            AprioriMiner(min_support=1.1)
+        with pytest.raises(ValueError):
+            AprioriMiner(min_support=0.5, max_len=0)
+
+
+class TestCandidateGeneration:
+    def test_join_requires_shared_prefix(self):
+        cands = AprioriMiner._generate_candidates([(1, 2), (1, 3), (2, 3)], 3)
+        assert cands == [(1, 2, 3)]
+
+    def test_prune_removes_unsupported_subsets(self):
+        # (1,2) and (1,3) join to (1,2,3) but (2,3) is not frequent.
+        cands = AprioriMiner._generate_candidates([(1, 2), (1, 3)], 3)
+        assert cands == []
+
+
+class TestCountPatterns:
+    def test_counts_match_miner(self):
+        miner_counts = AprioriMiner(min_support=0.5).mine(TX).counts
+        recount, work = count_patterns(TX, sorted(miner_counts))
+        assert recount == miner_counts
+        assert work == len(TX) * len(miner_counts)
+
+    def test_absent_pattern_zero(self):
+        counts, _ = count_patterns(TX, [(99,)])
+        assert counts == {(99,): 0}
+
+
+class TestWorkloads:
+    def test_local_workload_runs(self):
+        result = AprioriWorkload(min_support=0.5).run(TX)
+        assert result.work_units > 0
+        assert result.stats["transactions"] == 4
+
+    def test_local_merge_unions_patterns(self):
+        wl = AprioriWorkload(min_support=0.5)
+        r1 = wl.run(TX[:2])
+        r2 = wl.run(TX[2:])
+        union = wl.merge([r1, r2])
+        assert union == r1.output.patterns() | r2.output.patterns()
+
+    def test_count_workload_global_threshold(self):
+        wl = CandidateCountWorkload(
+            candidates=[(2,), (99,)], min_support=0.5, total_transactions=4
+        )
+        partials = [wl.run(TX[:2]), wl.run(TX[2:])]
+        merged = wl.merge(partials)
+        assert merged == {(2,): 3}
+
+    def test_count_workload_validation(self):
+        with pytest.raises(ValueError):
+            CandidateCountWorkload([], min_support=0.5, total_transactions=0)
+        with pytest.raises(ValueError):
+            CandidateCountWorkload([], min_support=0.0, total_transactions=4)

@@ -1,0 +1,40 @@
+"""Unit tests for the workload protocol primitives."""
+
+import pytest
+
+from repro.workloads.base import Workload, WorkloadResult
+
+
+class Echo(Workload):
+    name = "echo"
+
+    def run(self, records):
+        return WorkloadResult(work_units=1.0, output=list(records))
+
+
+class TestWorkloadResult:
+    def test_defaults(self):
+        r = WorkloadResult(work_units=0.0)
+        assert r.output is None
+        assert r.stats == {}
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadResult(work_units=-1.0)
+
+    def test_stats_isolated_per_instance(self):
+        a = WorkloadResult(work_units=1.0)
+        b = WorkloadResult(work_units=1.0)
+        a.stats["x"] = 1
+        assert b.stats == {}
+
+
+class TestWorkloadDefaults:
+    def test_default_merge_collects_outputs(self):
+        wl = Echo()
+        partials = [wl.run([1]), wl.run([2, 3])]
+        assert wl.merge(partials) == [[1], [2, 3]]
+
+    def test_abstract_run_required(self):
+        with pytest.raises(TypeError):
+            Workload()  # type: ignore[abstract]

@@ -1,0 +1,62 @@
+"""Unit and property tests for Eclat (must agree with Apriori)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.fpm.apriori import AprioriMiner
+from repro.workloads.fpm.eclat import EclatMiner, EclatWorkload
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=6),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestEquivalenceWithApriori:
+    @given(transactions_strategy, st.sampled_from([0.2, 0.4, 0.6, 0.9]))
+    @settings(max_examples=60, deadline=None)
+    def test_same_frequent_itemsets(self, tx, support):
+        apriori = AprioriMiner(min_support=support).mine(tx).counts
+        eclat = EclatMiner(min_support=support).mine(tx).counts
+        assert apriori == eclat
+
+    @given(transactions_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_same_with_max_len(self, tx):
+        apriori = AprioriMiner(min_support=0.3, max_len=2).mine(tx).counts
+        eclat = EclatMiner(min_support=0.3, max_len=2).mine(tx).counts
+        assert apriori == eclat
+
+
+class TestEclatBasics:
+    def test_empty(self):
+        out = EclatMiner(min_support=0.5).mine([])
+        assert out.counts == {}
+
+    def test_known_example(self):
+        tx = [[1, 2], [1, 2, 3], [2, 3]]
+        counts = EclatMiner(min_support=0.6).mine(tx).counts
+        assert counts == {(1,): 2, (2,): 3, (3,): 2, (1, 2): 2, (2, 3): 2}
+
+    def test_work_units_positive(self):
+        out = EclatMiner(min_support=0.3).mine([[1, 2, 3], [1, 2], [2, 3]])
+        assert out.work_units > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EclatMiner(min_support=0.0)
+        with pytest.raises(ValueError):
+            EclatMiner(min_support=0.5, max_len=0)
+
+
+class TestEclatWorkload:
+    def test_run_and_merge(self):
+        wl = EclatWorkload(min_support=0.5)
+        r1 = wl.run([[1, 2], [1, 2]])
+        r2 = wl.run([[3], [3]])
+        assert wl.merge([r1, r2]) == {(1,), (2,), (1, 2), (3,)}
+
+    def test_min_support_property(self):
+        assert EclatWorkload(min_support=0.25).min_support == 0.25

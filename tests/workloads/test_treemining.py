@@ -1,0 +1,64 @@
+"""Unit tests for frequent tree (pivot-set) mining."""
+
+import pytest
+
+from repro.data.trees import TreeDatasetConfig, generate_tree_dataset, tree_items
+from repro.workloads.fpm.treemining import TreeMiningWorkload, trees_to_pivot_sets
+
+
+@pytest.fixture(scope="module")
+def items():
+    trees = generate_tree_dataset(TreeDatasetConfig(num_trees=60, seed=6))
+    return tree_items(trees)
+
+
+class TestConversion:
+    def test_one_transaction_per_tree(self, items):
+        transactions, work = trees_to_pivot_sets(items)
+        assert len(transactions) == len(items)
+        assert work == sum(len(parent) for parent, _ in items)
+
+    def test_transactions_sorted_unique(self, items):
+        transactions, _ = trees_to_pivot_sets(items)
+        for t in transactions:
+            assert t == sorted(set(t))
+
+    def test_no_empty_transactions(self, items):
+        transactions, _ = trees_to_pivot_sets(items)
+        assert all(t for t in transactions)
+
+
+class TestWorkload:
+    def test_run_produces_patterns(self, items):
+        result = TreeMiningWorkload(min_support=0.2, max_len=2).run(items)
+        assert result.stats["patterns"] > 0
+        assert result.stats["trees"] == len(items)
+
+    def test_work_includes_conversion(self, items):
+        result = TreeMiningWorkload(min_support=0.99, max_len=1).run(items)
+        # Even with nothing frequent, conversion work is charged.
+        assert result.work_units >= sum(len(parent) for parent, _ in items)
+
+    def test_merge_unions(self, items):
+        wl = TreeMiningWorkload(min_support=0.2, max_len=2)
+        half = len(items) // 2
+        r1, r2 = wl.run(items[:half]), wl.run(items[half:])
+        assert wl.merge([r1, r2]) == r1.output.patterns() | r2.output.patterns()
+
+    def test_same_cluster_partition_has_more_frequent_patterns(self):
+        """A partition of structurally similar trees (one template
+        cluster) yields more locally frequent pivots than a mixed
+        partition — the skew effect the stratifier controls."""
+        trees = generate_tree_dataset(
+            TreeDatasetConfig(num_trees=120, num_clusters=6, skew=0.0, seed=3)
+        )
+        wl = TreeMiningWorkload(min_support=0.3, max_len=1)
+        one_cluster = [t.as_item() for t in trees if t.cluster == 0][:20]
+        mixed = [t.as_item() for t in trees[:20]]
+        assert (
+            wl.run(one_cluster).stats["patterns"]
+            > wl.run(mixed).stats["patterns"]
+        )
+
+    def test_min_support_property(self):
+        assert TreeMiningWorkload(min_support=0.4).min_support == 0.4

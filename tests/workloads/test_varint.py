@@ -1,0 +1,106 @@
+"""Unit and property tests for varint / zigzag / gap coding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.compression.varint import (
+    decode_varint,
+    decode_varint_list,
+    encode_varint,
+    encode_varint_list,
+    gaps_decode,
+    gaps_encode,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,length", [(0, 1), (127, 1), (128, 2), (16383, 2), (16384, 3)]
+    )
+    def test_encoded_length(self, value, length):
+        assert len(encode_varint(value)) == length
+
+    def test_roundtrip_simple(self):
+        blob = encode_varint(300)
+        assert decode_varint(blob) == (300, len(blob))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")
+
+    def test_offset_decoding(self):
+        blob = encode_varint(5) + encode_varint(1000)
+        v1, off = decode_varint(blob, 0)
+        v2, _ = decode_varint(blob, off)
+        assert (v1, v2) == (5, 1000)
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, value):
+        blob = encode_varint(value)
+        assert decode_varint(blob) == (value, len(blob))
+
+
+class TestVarintList:
+    def test_roundtrip(self):
+        values = [0, 1, 127, 128, 99999]
+        blob = encode_varint_list(values)
+        assert decode_varint_list(blob) == (values, len(blob))
+
+    def test_empty(self):
+        blob = encode_varint_list([])
+        assert decode_varint_list(blob) == ([], len(blob))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=50))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        blob = encode_varint_list(values)
+        assert decode_varint_list(blob) == (values, len(blob))
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value,encoded", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)])
+    def test_known_mapping(self, value, encoded):
+        assert zigzag_encode(value) == encoded
+        assert zigzag_decode(encoded) == value
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_decode_negative_rejected(self):
+        with pytest.raises(ValueError):
+            zigzag_decode(-1)
+
+
+class TestGaps:
+    def test_roundtrip(self):
+        values = [3, 4, 7, 100]
+        assert gaps_decode(gaps_encode(values)) == values
+
+    def test_empty(self):
+        assert gaps_encode([]) == []
+        assert gaps_decode([]) == []
+
+    def test_dense_run_gives_zero_gaps(self):
+        assert gaps_encode([5, 6, 7, 8]) == [5, 0, 0, 0]
+
+    def test_requires_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            gaps_encode([1, 1])
+        with pytest.raises(ValueError):
+            gaps_encode([2, 1])
+
+    @given(st.sets(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        sorted_vals = sorted(values)
+        assert gaps_decode(gaps_encode(sorted_vals)) == sorted_vals

@@ -1,0 +1,148 @@
+"""Unit and property tests for WebGraph-style compression."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.compression.webgraph import WebGraphCodec
+
+adjacency_strategy = st.lists(
+    st.sets(st.integers(min_value=0, max_value=5000), max_size=30).map(sorted),
+    max_size=40,
+)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return WebGraphCodec()
+
+
+class TestRoundtrip:
+    def test_empty(self, codec):
+        blob, _ = codec.compress([])
+        assert codec.decompress(blob) == []
+
+    def test_single_list(self, codec):
+        blob, _ = codec.compress([[1, 5, 9]])
+        assert codec.decompress(blob) == [[1, 5, 9]]
+
+    def test_empty_lists(self, codec):
+        blob, _ = codec.compress([[], [1], []])
+        assert codec.decompress(blob) == [[], [1], []]
+
+    def test_identical_lists(self, codec):
+        lists = [[2, 4, 6, 8]] * 10
+        blob, stats = codec.compress(lists)
+        assert codec.decompress(blob) == lists
+        assert stats.referenced_lists > 0
+
+    def test_normalizes_input(self, codec):
+        # Duplicates and unsorted input are canonicalised.
+        blob, _ = codec.compress([[5, 1, 5, 3]])
+        assert codec.decompress(blob) == [[1, 3, 5]]
+
+    @given(adjacency_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, lists):
+        codec = WebGraphCodec(window=4)
+        blob, _ = codec.compress(lists)
+        assert codec.decompress(blob) == [sorted(set(l)) for l in lists]
+
+
+class TestReferenceCompression:
+    def test_similar_neighbours_use_references(self, codec):
+        base = sorted(random.Random(0).sample(range(1000), 25))
+        lists = []
+        rng = random.Random(1)
+        for _ in range(40):
+            perturbed = sorted(set(base) ^ {rng.randrange(1000)})
+            lists.append(perturbed)
+        blob, stats = codec.compress(lists)
+        assert stats.referenced_lists > stats.plain_lists
+        assert codec.decompress(blob) == lists
+
+    def test_references_shrink_output(self):
+        base = sorted(random.Random(0).sample(range(5000), 30))
+        lists = [base] * 30
+        with_refs = WebGraphCodec(window=7)
+        without_refs = WebGraphCodec(window=0)
+        blob_ref, _ = with_refs.compress(lists)
+        blob_plain, _ = without_refs.compress(lists)
+        assert len(blob_ref) < len(blob_plain)
+
+    def test_window_zero_never_references(self):
+        codec = WebGraphCodec(window=0)
+        blob, stats = codec.compress([[1, 2]] * 5)
+        assert stats.referenced_lists == 0
+        assert codec.decompress(blob) == [[1, 2]] * 5
+
+
+class TestGapCompression:
+    def test_local_lists_compress_better_than_random(self, codec):
+        rng = random.Random(2)
+        local = [sorted(rng.sample(range(v, v + 200), 20)) for v in range(0, 4000, 100)]
+        scattered = [sorted(rng.sample(range(10**6), 20)) for _ in range(40)]
+        _, stats_local = codec.compress(local)
+        _, stats_scattered = codec.compress(scattered)
+        assert stats_local.bits_per_edge < stats_scattered.bits_per_edge
+
+    def test_ratio_definition(self, codec):
+        lists = [[1, 2, 3, 4]]
+        blob, stats = codec.compress(lists)
+        assert stats.raw_bytes == 16
+        assert stats.ratio == pytest.approx(16 / len(blob))
+
+
+class TestIntervalEncoding:
+    def test_split_intervals(self):
+        from repro.workloads.compression.webgraph import _split_intervals
+
+        intervals, residuals = _split_intervals([1, 2, 3, 4, 7, 9, 10, 11, 20])
+        assert intervals == [(1, 4), (9, 3)]
+        assert residuals == [7, 20]
+
+    def test_short_runs_stay_residual(self):
+        from repro.workloads.compression.webgraph import _split_intervals
+
+        intervals, residuals = _split_intervals([5, 6, 9])
+        assert intervals == []
+        assert residuals == [5, 6, 9]
+
+    def test_consecutive_runs_roundtrip(self, codec):
+        lists = [list(range(100, 140)), [5, 6, 7, 50, 51, 52, 99]]
+        blob, _ = codec.compress(lists)
+        assert codec.decompress(blob) == lists
+
+    def test_intervals_beat_gap_coding_on_dense_runs(self, codec):
+        dense = [list(range(v, v + 30)) for v in range(0, 3000, 40)]
+        sparse = [sorted(random.Random(v).sample(range(10**6), 30)) for v in range(75)]
+        _, stats_dense = codec.compress(dense)
+        _, stats_sparse = codec.compress(sparse)
+        assert stats_dense.bits_per_edge < 0.3 * stats_sparse.bits_per_edge
+        assert stats_dense.ratio > 8.0
+
+
+class TestStatsAndValidation:
+    def test_counts_partition(self, codec):
+        lists = [[1, 2], [1, 2], [900]]
+        _, stats = codec.compress(lists)
+        assert stats.referenced_lists + stats.plain_lists == 3
+        assert stats.input_edges == 5
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WebGraphCodec(window=-1)
+
+    def test_empty_stats(self, codec):
+        _, stats = codec.compress([])
+        assert stats.ratio == 0.0
+        assert stats.bits_per_edge == 0.0
+
+    def test_corrupt_flag_rejected(self, codec):
+        from repro.workloads.compression.varint import encode_varint
+
+        bad = encode_varint(1) + bytes([7])
+        with pytest.raises(ValueError):
+            codec.decompress(bad)

@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench bench-kernels examples results clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-kernels:
+	PYTHONPATH=src python benchmarks/bench_kernels.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -1,0 +1,184 @@
+"""Kernel micro-benchmarks: batched vs reference hot paths.
+
+Times the three :mod:`repro.perf` kernels against the reference
+implementations they replaced — ragged-batch sketching, batched
+compositeKModes fit, blocked similarity matrix — asserting bit-identical
+outputs before reporting any number, and writes the measurements to
+``benchmarks/results/BENCH_kernels.json``.
+
+Runs standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--smoke] [--out PATH]
+
+or as part of the benchmark suite (smoke-sized so ``make bench`` stays
+quick)::
+
+    pytest benchmarks/bench_kernels.py --benchmark-only
+
+The kmodes dataset is drawn with ground-truth cluster structure (each
+row samples mostly from one of ``K`` shared pivot pools): uniform random
+sketches give every attribute ~n distinct values and converge in one or
+two degenerate iterations, which benchmarks neither path's steady state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.stratify.kmodes import CompositeKModes
+from repro.stratify.minhash import MinHasher
+
+FULL = {
+    "num_sets": 10_000,
+    "pivots_per_set": (30, 70),
+    "sketch_hashes": 48,
+    "kmodes_rows": 5_000,
+    "kmodes_hashes": 64,
+    "kmodes_clusters": 8,
+    "similarity_rows": 1_500,
+}
+SMOKE = {
+    "num_sets": 400,
+    "pivots_per_set": (30, 70),
+    "sketch_hashes": 16,
+    "kmodes_rows": 400,
+    "kmodes_hashes": 16,
+    "kmodes_clusters": 4,
+    "similarity_rows": 200,
+}
+
+
+def _pivot_sets(num_sets: int, size_range: tuple[int, int], rng) -> list[np.ndarray]:
+    lo, hi = size_range
+    return [
+        rng.integers(0, 1 << 32, size=int(rng.integers(lo, hi))).astype(np.uint64)
+        for _ in range(num_sets)
+    ]
+
+
+def _clustered_sets(num_sets: int, groups: int, size_range: tuple[int, int], rng):
+    lo, hi = size_range
+    bases = [rng.integers(0, 1 << 32, size=200).astype(np.uint64) for _ in range(groups)]
+    sets = []
+    for i in range(num_sets):
+        take = rng.choice(bases[i % groups], size=int(rng.integers(lo, min(hi, 150))), replace=False)
+        noise = rng.integers(0, 1 << 32, size=int(rng.integers(0, 8))).astype(np.uint64)
+        sets.append(np.concatenate([take, noise]))
+    return sets
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kernel_bench(cfg: dict) -> dict:
+    rng = np.random.default_rng(0)
+    results: dict[str, dict] = {"config": dict(cfg)}
+
+    # -- sketch_all: ragged batch vs per-set loop --------------------------
+    sets = _pivot_sets(cfg["num_sets"], cfg["pivots_per_set"], rng)
+    hasher = MinHasher(num_hashes=cfg["sketch_hashes"], seed=0)
+    batched = hasher.sketch_all(sets)  # warm scratch + caches
+    reference = hasher.sketch_all_reference(sets)
+    assert np.array_equal(batched, reference), "sketch kernel diverged"
+    t_batched = _best_of(lambda: hasher.sketch_all(sets))
+    t_reference = _best_of(lambda: hasher.sketch_all_reference(sets), repeats=1)
+    results["sketch_all"] = {
+        "batched_s": t_batched,
+        "reference_s": t_reference,
+        "speedup": t_reference / t_batched,
+        "bit_identical": True,
+    }
+
+    # -- CompositeKModes.fit: batched kernels vs python loops --------------
+    km_rng = np.random.default_rng(2)
+    km_sets = _clustered_sets(
+        cfg["kmodes_rows"], cfg["kmodes_clusters"], cfg["pivots_per_set"], km_rng
+    )
+    sketches = MinHasher(num_hashes=cfg["kmodes_hashes"], seed=0).sketch_all(km_sets)
+    km_batched = CompositeKModes(
+        num_clusters=cfg["kmodes_clusters"], top_l=3, seed=0, kernel="batched"
+    )
+    km_reference = CompositeKModes(
+        num_clusters=cfg["kmodes_clusters"], top_l=3, seed=0, kernel="reference"
+    )
+    fit_b = km_batched.fit(sketches)
+    fit_r = km_reference.fit(sketches)
+    assert np.array_equal(fit_b.labels, fit_r.labels), "kmodes labels diverged"
+    assert np.array_equal(fit_b.centers, fit_r.centers), "kmodes centers diverged"
+    assert fit_b.cost == fit_r.cost and fit_b.iterations == fit_r.iterations
+    t_batched = _best_of(lambda: km_batched.fit(sketches), repeats=2)
+    t_reference = _best_of(lambda: km_reference.fit(sketches), repeats=1)
+    results["kmodes_fit"] = {
+        "batched_s": t_batched,
+        "reference_s": t_reference,
+        "speedup": t_reference / t_batched,
+        "iterations": fit_b.iterations,
+        "bit_identical": True,
+    }
+
+    # -- similarity matrix: blocked vs row loop ----------------------------
+    sim_sketches = sketches[: cfg["similarity_rows"]]
+    sim_b = hasher.similarity_matrix(sim_sketches)
+    sim_r = hasher.similarity_matrix_reference(sim_sketches)
+    assert np.array_equal(sim_b, sim_r), "similarity kernel diverged"
+    t_batched = _best_of(lambda: hasher.similarity_matrix(sim_sketches), repeats=2)
+    t_reference = _best_of(lambda: hasher.similarity_matrix_reference(sim_sketches), repeats=1)
+    results["similarity_matrix"] = {
+        "batched_s": t_batched,
+        "reference_s": t_reference,
+        "speedup": t_reference / t_batched,
+        "bit_identical": True,
+    }
+    return results
+
+
+def _render(results: dict) -> str:
+    lines = ["kernel            batched      reference    speedup"]
+    for name in ("sketch_all", "kmodes_fit", "similarity_matrix"):
+        r = results[name]
+        lines.append(
+            f"{name:<17} {r['batched_s']:>9.3f}s  {r['reference_s']:>9.3f}s  {r['speedup']:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI smoke test)")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "results" / "BENCH_kernels.json",
+    )
+    args = parser.parse_args(argv)
+    results = run_kernel_bench(SMOKE if args.smoke else FULL)
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(_render(results))
+    print(f"[saved to {args.out}]")
+
+
+def test_bench_kernels(benchmark):
+    # Imported lazily so `python benchmarks/bench_kernels.py` needs no
+    # pytest on the path; the suite run uses smoke sizes to stay quick.
+    from conftest import run_once, save_result
+
+    results = run_once(benchmark, lambda: run_kernel_bench(SMOKE))
+    save_result("BENCH_kernels_smoke", _render(results))
+    for name in ("sketch_all", "kmodes_fit", "similarity_matrix"):
+        assert results[name]["bit_identical"]
+
+
+if __name__ == "__main__":
+    main()

@@ -7,10 +7,11 @@ Two engines share one interface:
   deterministically as ``overhead/speed + work_units/(unit_rate·speed)``
   — the busy-loop emulation in closed form. This is the default for
   experiments: results are exactly reproducible.
-- :class:`ProcessPoolEngine` executes partitions on a real
-  ``ProcessPoolExecutor`` and scales measured wall time by the node's
-  speed factor, exercising genuine parallel execution (pickling,
-  process startup, concurrent scheduling).
+- :class:`ProcessPoolEngine` executes partitions on a real, persistent
+  ``ProcessPoolExecutor`` (created lazily, reused across jobs and
+  profiling probes) and scales measured wall time by the node's speed
+  factor, exercising genuine parallel execution (pickling, process
+  startup, concurrent scheduling).
 
 Both account dirty energy against each node's green trace over the
 node's busy interval and support multiple partitions queued on one node
@@ -20,8 +21,10 @@ node's busy interval and support multiple partitions queued on one node
 from __future__ import annotations
 
 import abc
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -220,23 +223,100 @@ def _pool_task(args: tuple[Workload, Sequence[Any]]) -> tuple[WorkloadResult, fl
 class ProcessPoolEngine(ExecutionEngine):
     """Real parallel engine: wall time scaled by each node's speed factor.
 
-    Partition workloads run concurrently in worker processes (one per
-    partition, capped at ``max_workers``); the measured wall time of
-    each task is divided by the assigned node's speed factor and the
-    per-task overhead added, emulating the busy-loop slowdown without
-    burning cores on spin loops.
+    Partition workloads run concurrently in worker processes (capped at
+    ``max_workers``); the measured wall time of each task is divided by
+    the assigned node's speed factor and the per-task overhead added,
+    emulating the busy-loop slowdown without burning cores on spin
+    loops.
+
+    The worker pool is **persistent**: it is created lazily on the
+    first job and reused by every subsequent :meth:`run_job` /
+    :meth:`profile` / :meth:`profile_all_nodes` call, so process
+    fork/spawn cost is paid once per engine, not once per job. Because
+    worker start-up is real wall time, the first task measured on a
+    cold pool can carry import/fork noise — callers comparing measured
+    runtimes should issue a throwaway :meth:`profile` first (or accept
+    the first probe as warm-up). Use the engine as a context manager,
+    or call :meth:`shutdown`, to release the workers deterministically;
+    a garbage-collected engine tears its pool down without waiting.
     """
 
     def __init__(self, cluster: Cluster, max_workers: int | None = None):
         super().__init__(cluster)
         self.max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._pools_created = 0
+
+    @property
+    def pools_created(self) -> int:
+        """How many executors this engine has ever constructed.
+
+        Stays at 1 across any number of jobs unless the pool broke (a
+        worker died) or :meth:`shutdown` was followed by more work.
+        """
+        return self._pools_created
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._pools_created += 1
+        return self._pool
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the worker processes. Idempotent; the next job after
+        a shutdown transparently builds a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass  # interpreter teardown: executor internals may be gone
+
+    def _map_tasks(
+        self, workload: Workload, partitions: Sequence[Sequence[Any]]
+    ) -> list[tuple[WorkloadResult, float]]:
+        pool = self._ensure_pool()
+        workers = self.max_workers or os.cpu_count() or 1
+        # Hand each worker a few tasks per round-trip: one pickle per
+        # chunk instead of one per partition.
+        chunksize = max(1, len(partitions) // (4 * workers))
+        try:
+            return list(
+                pool.map(
+                    _pool_task,
+                    [(workload, list(p)) for p in partitions],
+                    chunksize=chunksize,
+                )
+            )
+        except BrokenProcessPool:
+            # A dead worker poisons the whole executor; discard it so
+            # the next job starts clean, then surface the failure.
+            self.shutdown(wait=False)
+            raise
 
     def _execute_partitions(self, workload, partitions, assignment):
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            raw = list(pool.map(_pool_task, [(workload, list(p)) for p in partitions]))
+        raw = self._map_tasks(workload, partitions)
         out = []
         for (result, wall), node_id in zip(raw, assignment):
             node = self.cluster[node_id]
             runtime = node.task_overhead_s / node.speed_factor + wall / node.speed_factor
             out.append((result, runtime))
         return out
+
+    def profile_all_nodes(self, workload, records):
+        # Runtime derives from one measured wall time scaled per node —
+        # run the sample once on the pool instead of once per node.
+        ((_, wall),) = self._map_tasks(workload, [list(records)])
+        return [
+            node.task_overhead_s / node.speed_factor + wall / node.speed_factor
+            for node in self.cluster
+        ]

@@ -238,7 +238,9 @@ class ProgressiveSampler:
             samples = [[items[i] for i in idx], list(items)]
 
         # One probe per (sample, node); engines that can derive all nodes
-        # from a single run do so inside profile_all_nodes.
+        # from a single run do so inside profile_all_nodes. Samples run
+        # smallest-first, so for measured engines (persistent process
+        # pool) any cold-pool start-up noise lands on the cheapest probe.
         per_sample = [self.engine.profile_all_nodes(workload, s) for s in samples]
         models: list[LinearTimeModel] = []
         r2: list[float] = []

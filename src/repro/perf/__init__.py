@@ -1,0 +1,50 @@
+"""Vectorised kernel layer for the stratifier hot paths.
+
+The stratification front door (pivot sketching + compositeKModes) is
+paid by every experiment before a single partition runs, so its cost
+must stay negligible next to the workloads being partitioned (the
+bi-objective gains evaporate otherwise — cf. Khaleghzadeh et al.,
+arXiv:1907.04080). This package holds the batched numpy kernels that
+the stratifier modules call into:
+
+- :mod:`repro.perf.minhash_kernels` — ragged-batch MinHash sketching
+  (one broadcasted multiply-add over all sets at once, per-set minima
+  via ``np.minimum.reduceat``) and the ndarray element fast path.
+- :mod:`repro.perf.kmodes_kernels` — batched match-count matrices with
+  memory-aware row chunking, a sort/bincount-based top-L centre update,
+  and a blocked similarity matrix.
+
+Every kernel is bit-identical to the reference implementation it
+replaces; the reference paths are kept on the calling classes as
+oracles (``sketch_all_reference``, ``kernel="reference"``, …) and the
+equivalence is asserted by ``tests/perf/`` and
+``benchmarks/bench_kernels.py``. Kernels are pure functions of their
+arguments (no imports from the stratifier modules) so they stay free of
+import cycles and are trivially testable.
+"""
+
+from repro.perf.kmodes_kernels import (
+    factorize_columns,
+    match_counts,
+    similarity_matrix_blocked,
+    top_l_centers,
+)
+from repro.perf.minhash_kernels import (
+    DEFAULT_CHUNK_BYTES,
+    as_uint64_elements,
+    flatten_sets,
+    hash_elements,
+    sketch_batch,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "as_uint64_elements",
+    "factorize_columns",
+    "flatten_sets",
+    "hash_elements",
+    "match_counts",
+    "similarity_matrix_blocked",
+    "sketch_batch",
+    "top_l_centers",
+]

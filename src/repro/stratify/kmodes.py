@@ -9,6 +9,12 @@ matches an attribute if its value appears anywhere in the centre's
 top-``L`` list. Convergence follows the usual KModes argument: both the
 assignment and the centre-update step never increase the total mismatch
 cost, so the cost is non-increasing and the algorithm terminates.
+
+The assign and centre-update steps run on the batched kernels in
+:mod:`repro.perf.kmodes_kernels` (chunked broadcast matching, a
+bincount/scatter-min top-L update). The original Python-loop
+implementations are kept behind ``kernel="reference"`` as the oracle
+the kernels are property-tested against — both paths are bit-identical.
 """
 
 from __future__ import annotations
@@ -18,6 +24,9 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
+
+from repro.perf.kmodes_kernels import factorize_columns, match_counts, top_l_centers
+from repro.perf.minhash_kernels import DEFAULT_CHUNK_BYTES
 
 
 @dataclass
@@ -74,12 +83,22 @@ class CompositeKModes:
         Cap on assign/update rounds.
     seed:
         RNG seed for centre initialisation.
+    kernel:
+        ``"batched"`` (default) routes matching and centre updates
+        through :mod:`repro.perf.kmodes_kernels`; ``"reference"`` runs
+        the original Python-loop implementations. Both produce
+        bit-identical labels, centres and cost.
+    chunk_bytes:
+        Ceiling on the batched matcher's equality temporary; a pure
+        speed/memory knob.
     """
 
     num_clusters: int = 8
     top_l: int = 3
     max_iter: int = 50
     seed: int = 0
+    kernel: str = "batched"
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
 
     def __post_init__(self) -> None:
         if self.num_clusters <= 0:
@@ -88,11 +107,21 @@ class CompositeKModes:
             raise ValueError("top_l must be positive")
         if self.max_iter <= 0:
             raise ValueError("max_iter must be positive")
+        if self.kernel not in ("batched", "reference"):
+            raise ValueError("kernel must be 'batched' or 'reference'")
 
     # -- internals ---------------------------------------------------------
 
     def _match_counts(self, sketches: np.ndarray, centers: np.ndarray) -> np.ndarray:
         """``(n, K)`` matrix of matched-attribute counts."""
+        if self.kernel == "batched":
+            return match_counts(sketches, centers, chunk_bytes=self.chunk_bytes)
+        return self._match_counts_reference(sketches, centers)
+
+    def _match_counts_reference(
+        self, sketches: np.ndarray, centers: np.ndarray
+    ) -> np.ndarray:
+        """Per-cluster reference matcher — the batched kernel's oracle."""
         n, k = sketches.shape
         K = centers.shape[0]
         counts = np.empty((n, K), dtype=np.int64)
@@ -102,10 +131,10 @@ class CompositeKModes:
             counts[:, c] = hit.sum(axis=1)
         return counts
 
-    def _update_centers(
+    def _update_centers_reference(
         self, sketches: np.ndarray, labels: np.ndarray, centers: np.ndarray
     ) -> np.ndarray:
-        """Recompute per-attribute top-L frequency lists for each cluster."""
+        """Counter-loop reference centre update — the sort kernel's oracle."""
         K = centers.shape[0]
         k = sketches.shape[1]
         new_centers = np.full_like(centers, _FILL)
@@ -162,6 +191,12 @@ class CompositeKModes:
         centers = np.full((K, k, self.top_l), _FILL, dtype=np.uint64)
         centers[:, :, 0] = sketches[chosen]
 
+        # The sketch matrix never changes across iterations, so the
+        # batched path factorises it once (per-attribute dense codes)
+        # and every centre update is a bincount/scatter-min over keys.
+        if self.kernel == "batched":
+            codes, col_offsets, all_values = factorize_columns(sketches)
+
         labels = np.full(n, -1, dtype=np.int64)
         converged = False
         iterations = 0
@@ -172,7 +207,19 @@ class CompositeKModes:
                 converged = True
                 break
             labels = new_labels
-            centers = self._update_centers(sketches, labels, centers)
+            if self.kernel == "batched":
+                centers = top_l_centers(
+                    codes,
+                    col_offsets,
+                    all_values,
+                    labels,
+                    centers,
+                    top_l=self.top_l,
+                    fill=_FILL,
+                    chunk_bytes=self.chunk_bytes,
+                )
+            else:
+                centers = self._update_centers_reference(sketches, labels, centers)
 
         final_counts = self._match_counts(sketches, centers)
         matched = final_counts[np.arange(n), labels]

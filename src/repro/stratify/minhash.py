@@ -10,8 +10,11 @@ between two sketches is an unbiased estimator of their Jaccard
 similarity.
 
 Everything is vectorised: a set of ``n`` elements is sketched with one
-``(n, k)`` broadcasted multiply-add, per the HPC guide's
-vectorise-don't-loop idiom.
+``(n, k)`` broadcasted multiply-add, and whole datasets are sketched by
+the ragged-batch kernel in :mod:`repro.perf.minhash_kernels` — all sets
+concatenated into one flat array, hashed in memory-bounded chunks, and
+reduced per set with ``np.minimum.reduceat``. The per-set path is kept
+as the oracle the batch kernel is tested against.
 """
 
 from __future__ import annotations
@@ -21,6 +24,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.perf.minhash_kernels import (
+    DEFAULT_CHUNK_BYTES,
+    as_uint64_elements,
+    flatten_sets,
+    hash_elements,
+    sketch_batch,
+)
+from repro.perf.kmodes_kernels import similarity_matrix_blocked
 from repro.stratify.pivots import UNIVERSE_SIZE
 
 #: Smallest prime exceeding the 2**32 pivot universe.
@@ -88,10 +99,16 @@ class MinHasher:
     seed:
         Seed for drawing the permutation coefficients; two hashers with
         the same seed produce identical, comparable sketches.
+    chunk_bytes:
+        Ceiling on the batch kernels' largest temporary (the hashed
+        ``(m, k)`` block in ``sketch_all``, the ``(rows, n, k)`` block
+        in ``similarity_matrix``). Purely a speed/memory knob — results
+        are identical for any positive value.
     """
 
     num_hashes: int = 64
     seed: int = 0
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
     _a: np.ndarray = field(init=False, repr=False)
     _b: np.ndarray = field(init=False, repr=False)
 
@@ -108,34 +125,54 @@ class MinHasher:
 
         The empty set sketches to all :data:`EMPTY_SLOT` sentinels, which
         never collide with real hash values (< PRIME < 2**64 - 1).
+        Integer ndarrays skip the per-element conversion entirely.
         """
-        arr = np.fromiter((int(v) for v in items), dtype=np.uint64)
+        arr = as_uint64_elements(items)
         if arr.size == 0:
             return np.full(self.num_hashes, EMPTY_SLOT, dtype=np.uint64)
-        if arr.size and int(arr.max()) >= UNIVERSE_SIZE:
+        if int(arr.max()) >= UNIVERSE_SIZE:
             raise ValueError("element outside the pivot universe")
-        # Work in object-free uint64: a*x can exceed 64 bits for 32-bit
-        # universes (a < 2**32+16, x < 2**32 → product < 2**64.01), so
-        # compute modulo arithmetic in two uint64-safe halves:
-        #   a*x mod P with x split as x = hi*2**16 + lo.
-        hi = arr >> np.uint64(16)
-        lo = arr & np.uint64(0xFFFF)
-        a = self._a[None, :]
-        # (a * hi) < 2**33 * 2**16 = 2**49; shifting by 16 keeps < 2**65?
-        # Keep everything mod P along the way instead.
-        t = (a * hi[:, None]) % PRIME          # < P
-        t = ((t << np.uint64(16)) % PRIME + (a * lo[:, None]) % PRIME) % PRIME
-        hashed = (t + self._b[None, :]) % PRIME
-        return hashed.min(axis=0)
+        # a*x can exceed 64 bits for 32-bit universes (a < 2**32+16,
+        # x < 2**32 → product < 2**64.01); hash_elements computes the
+        # modulo arithmetic in two uint64-safe halves.
+        return hash_elements(arr, self._a, self._b, PRIME).min(axis=0)
 
     def sketch_all(self, sets: Sequence[Iterable[int]]) -> np.ndarray:
-        """Sketch a dataset; returns an ``(n_items, k)`` uint64 matrix."""
+        """Sketch a dataset; returns an ``(n_items, k)`` uint64 matrix.
+
+        Runs the ragged-batch kernel: one flat concatenation of every
+        set, chunked broadcasted hashing, per-set minima via
+        ``np.minimum.reduceat``. Bit-identical to sketching each set
+        with :meth:`sketch` (see :meth:`sketch_all_reference`).
+        """
+        if len(sets) == 0:
+            return np.empty((0, self.num_hashes), dtype=np.uint64)
+        flat, offsets = flatten_sets(sets)
+        if flat.size and int(flat.max()) >= UNIVERSE_SIZE:
+            raise ValueError("element outside the pivot universe")
+        return sketch_batch(
+            flat,
+            offsets,
+            self._a,
+            self._b,
+            prime=PRIME,
+            empty_slot=EMPTY_SLOT,
+            chunk_bytes=self.chunk_bytes,
+        )
+
+    def sketch_all_reference(self, sets: Sequence[Iterable[int]]) -> np.ndarray:
+        """Per-set reference for :meth:`sketch_all` — the oracle the
+        batch kernel is benchmarked and property-tested against."""
         if len(sets) == 0:
             return np.empty((0, self.num_hashes), dtype=np.uint64)
         return np.stack([self.sketch(s) for s in sets])
 
     def similarity_matrix(self, sketches: np.ndarray) -> np.ndarray:
         """Pairwise estimated Jaccard similarities of sketched items."""
+        return similarity_matrix_blocked(sketches, chunk_bytes=self.chunk_bytes)
+
+    def similarity_matrix_reference(self, sketches: np.ndarray) -> np.ndarray:
+        """Row-at-a-time reference for :meth:`similarity_matrix`."""
         sketches = np.asarray(sketches)
         n = sketches.shape[0]
         sim = np.empty((n, n), dtype=np.float64)

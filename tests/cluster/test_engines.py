@@ -180,3 +180,44 @@ class TestProcessPoolEngine:
         t_fast = engine.profile(CountingWorkload(), records, 0)
         t_slow = engine.profile(CountingWorkload(), records, 3)
         assert t_slow > t_fast
+        engine.shutdown()
+
+    def test_pool_persists_across_jobs_and_probes(self, cluster):
+        engine = ProcessPoolEngine(cluster, max_workers=1)
+        assert engine.pools_created == 0  # lazy: nothing until first work
+        engine.run_job(CountingWorkload(), [[1, 2], [3]], assignment=[0, 1])
+        engine.profile(CountingWorkload(), [1, 2, 3], 2)
+        engine.profile_all_nodes(CountingWorkload(), [1, 2])
+        engine.run_job(CountingWorkload(), [[4]], assignment=[3])
+        assert engine.pools_created == 1
+        engine.shutdown()
+
+    def test_shutdown_idempotent_and_pool_rebuilds(self, cluster):
+        engine = ProcessPoolEngine(cluster, max_workers=1)
+        engine.profile(CountingWorkload(), [1], 0)
+        engine.shutdown()
+        engine.shutdown()  # second call is a no-op
+        # Work after shutdown transparently builds a fresh pool.
+        job = engine.run_job(CountingWorkload(), [[1, 2]], assignment=[0])
+        assert job.merged_output == 3
+        assert engine.pools_created == 2
+        engine.shutdown()
+
+    def test_context_manager_releases_pool(self, cluster):
+        with ProcessPoolEngine(cluster, max_workers=1) as engine:
+            job = engine.run_job(CountingWorkload(), [[1], [2]], assignment=[0, 1])
+            assert job.merged_output == 3
+        assert engine._pool is None
+
+    def test_profile_all_nodes_scales_one_measurement(self, cluster):
+        # The override runs the sample once; every node's runtime derives
+        # from the same wall time, so the node ordering by speed is exact
+        # (no cross-probe measurement noise).
+        with ProcessPoolEngine(cluster, max_workers=1) as engine:
+            times = engine.profile_all_nodes(CountingWorkload(), list(range(50)))
+        assert len(times) == cluster.num_nodes
+        wall_implied = [
+            (t - n.task_overhead_s / n.speed_factor) * n.speed_factor
+            for t, n in zip(times, cluster)
+        ]
+        assert wall_implied == pytest.approx([wall_implied[0]] * len(wall_implied))

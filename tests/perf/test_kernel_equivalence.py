@@ -1,0 +1,168 @@
+"""Golden-equivalence property tests for the batched kernels.
+
+Every kernel in :mod:`repro.perf` claims *bit-identical* output to the
+reference implementation it replaces. These tests hold it to that:
+hypothesis drives ragged/degenerate inputs (empty sets, single
+elements, heavy value ties, chunk boundaries) through both paths and
+asserts exact array equality — no tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.kmodes_kernels import factorize_columns, top_l_centers
+from repro.perf.minhash_kernels import as_uint64_elements, flatten_sets
+from repro.stratify.kmodes import _FILL, CompositeKModes
+from repro.stratify.minhash import EMPTY_SLOT, MinHasher
+
+# Ragged datasets: lists of sets over the full 32-bit universe,
+# including empty sets (which must round-trip as sentinel rows).
+ragged_strategy = st.lists(
+    st.sets(st.integers(min_value=0, max_value=2**32 - 1), max_size=30),
+    min_size=0,
+    max_size=25,
+)
+
+# Low-cardinality matrices force repeated values per attribute — the
+# Counter tie-break regime where a subtly wrong ordering would show.
+matrix_strategy = st.tuples(
+    st.integers(min_value=1, max_value=60),  # rows
+    st.integers(min_value=1, max_value=6),  # attrs
+    st.integers(min_value=1, max_value=5),  # distinct values per attr
+    st.integers(min_value=0, max_value=2**32 - 1),  # rng seed
+)
+
+
+def _low_card_matrix(n, k, card, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, card, size=(n, k)).astype(np.uint64)
+
+
+class TestSketchBatchEquivalence:
+    @given(ragged_strategy, st.sampled_from([64, 1024, 8 * 1024 * 1024]))
+    @settings(max_examples=40, deadline=None)
+    def test_batched_matches_per_set(self, sets, chunk_bytes):
+        hasher = MinHasher(num_hashes=9, seed=3, chunk_bytes=chunk_bytes)
+        got = hasher.sketch_all(sets)
+        ref = hasher.sketch_all_reference(sets)
+        assert got.dtype == ref.dtype == np.uint64
+        assert np.array_equal(got, ref)
+
+    @given(ragged_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_chunking_is_invisible(self, sets):
+        tiny = MinHasher(num_hashes=7, seed=1, chunk_bytes=64)
+        big = MinHasher(num_hashes=7, seed=1)
+        assert np.array_equal(tiny.sketch_all(sets), big.sketch_all(sets))
+
+    def test_ndarray_list_set_inputs_agree(self):
+        rng = np.random.default_rng(0)
+        arrays = [
+            rng.integers(0, 2**32, size=int(rng.integers(0, 40))).astype(np.uint64)
+            for _ in range(30)
+        ]
+        hasher = MinHasher(num_hashes=16, seed=5)
+        as_arrays = hasher.sketch_all(arrays)
+        as_lists = hasher.sketch_all([[int(v) for v in a] for a in arrays])
+        assert np.array_equal(as_arrays, as_lists)
+
+    def test_empty_sets_are_sentinel_rows(self):
+        hasher = MinHasher(num_hashes=6, seed=0)
+        got = hasher.sketch_all([set(), {1, 2}, set(), set(), {3}])
+        assert (got[[0, 2, 3]] == EMPTY_SLOT).all()
+        assert np.array_equal(got, hasher.sketch_all_reference([set(), {1, 2}, set(), set(), {3}]))
+
+    def test_out_of_universe_rejected_in_batch(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=4).sketch_all([{1}, {2**32}])
+
+
+class TestElementCoercion:
+    def test_integer_ndarray_fast_path_no_copy(self):
+        arr = np.array([1, 2, 3], dtype=np.uint64)
+        out = as_uint64_elements(arr)
+        assert out is arr or out.base is arr
+
+    def test_signed_ndarray_cast(self):
+        out = as_uint64_elements(np.array([5, 0, 9], dtype=np.int32))
+        assert out.dtype == np.uint64 and list(out) == [5, 0, 9]
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(ValueError):
+            as_uint64_elements(np.array([1, -2], dtype=np.int64))
+
+    def test_generic_iterable_fallback(self):
+        out = as_uint64_elements(iter([7, 8]))
+        assert out.dtype == np.uint64 and list(out) == [7, 8]
+
+    def test_flatten_offsets(self):
+        flat, offsets = flatten_sets([[1, 2], [], [3]])
+        assert list(offsets) == [0, 2, 2, 3]
+        assert list(flat) == [1, 2, 3]
+
+
+class TestKModesEquivalence:
+    @given(matrix_strategy, st.sampled_from([256, 8 * 1024 * 1024]))
+    @settings(max_examples=25, deadline=None)
+    def test_fit_matches_reference(self, spec, chunk_bytes):
+        n, k, card, seed = spec
+        data = _low_card_matrix(n, k, card, seed)
+        kwargs = dict(num_clusters=5, top_l=2, seed=seed % 1000, max_iter=30)
+        batched = CompositeKModes(kernel="batched", chunk_bytes=chunk_bytes, **kwargs).fit(data)
+        reference = CompositeKModes(kernel="reference", **kwargs).fit(data)
+        assert np.array_equal(batched.labels, reference.labels)
+        assert np.array_equal(batched.centers, reference.centers)
+        assert batched.cost == reference.cost
+        assert batched.iterations == reference.iterations
+        assert batched.converged == reference.converged
+
+    @given(matrix_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_top_l_dense_and_sparse_paths_agree(self, spec):
+        n, k, card, seed = spec
+        data = _low_card_matrix(n, k, card, seed)
+        codes, col_offsets, all_values = factorize_columns(data)
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, size=n).astype(np.int64)
+        old = np.full((4, k, 3), _FILL, dtype=np.uint64)
+        # chunk_bytes=1 forces the argsort fallback; 1 GiB the bincount path.
+        dense = top_l_centers(
+            codes, col_offsets, all_values, labels, old, top_l=3, fill=_FILL, chunk_bytes=1 << 30
+        )
+        sparse = top_l_centers(
+            codes, col_offsets, all_values, labels, old, top_l=3, fill=_FILL, chunk_bytes=1
+        )
+        assert np.array_equal(dense, sparse)
+
+    def test_assign_matches_reference(self):
+        data = _low_card_matrix(80, 5, 4, seed=9)
+        batched = CompositeKModes(num_clusters=4, top_l=2, seed=1, kernel="batched")
+        reference = CompositeKModes(num_clusters=4, top_l=2, seed=1, kernel="reference")
+        result = batched.fit(data)
+        new = _low_card_matrix(40, 5, 4, seed=10)
+        assert np.array_equal(
+            batched.assign(new, result.centers), reference.assign(new, result.centers)
+        )
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeKModes(kernel="magic")
+
+
+class TestSimilarityEquivalence:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=16),
+        st.sampled_from([128, 8 * 1024 * 1024]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_blocked_matches_row_loop(self, n, k, chunk_bytes):
+        rng = np.random.default_rng(n * 1000 + k)
+        sketches = rng.integers(0, 50, size=(n, k)).astype(np.uint64)
+        hasher = MinHasher(num_hashes=k, chunk_bytes=chunk_bytes)
+        assert np.array_equal(
+            hasher.similarity_matrix(sketches),
+            hasher.similarity_matrix_reference(sketches),
+        )

@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-kernels examples results clean
+.PHONY: install test bench bench-kernels bench-pipeline examples results clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,9 @@ bench:
 
 bench-kernels:
 	PYTHONPATH=src python benchmarks/bench_kernels.py
+
+bench-pipeline:
+	PYTHONPATH=src python benchmarks/bench_pipeline.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -1,10 +1,11 @@
 """Kernel micro-benchmarks: batched vs reference hot paths.
 
-Times the three :mod:`repro.perf` kernels against the reference
+Times the :mod:`repro.perf` kernels against the reference
 implementations they replaced — ragged-batch sketching, batched
-compositeKModes fit, blocked similarity matrix — asserting bit-identical
-outputs before reporting any number, and writes the measurements to
-``benchmarks/results/BENCH_kernels.json``.
+compositeKModes fit, blocked similarity matrix, packed-bitmap Apriori
+mining, the fast LZ77 coder and the batched WebGraph coder — asserting
+bit-identical outputs before reporting any number, and writes the
+measurements to ``benchmarks/results/BENCH_kernels.json``.
 
 Runs standalone (no pytest needed)::
 
@@ -41,6 +42,13 @@ FULL = {
     "kmodes_hashes": 64,
     "kmodes_clusters": 8,
     "similarity_rows": 1_500,
+    "apriori_transactions": 4_000,
+    "apriori_items": 48,
+    "apriori_tx_len": (6, 14),
+    "apriori_min_support": 0.08,
+    "lz77_bytes": 200_000,
+    "webgraph_lists": 1_500,
+    "webgraph_degree": (10, 60),
 }
 SMOKE = {
     "num_sets": 400,
@@ -50,6 +58,13 @@ SMOKE = {
     "kmodes_hashes": 16,
     "kmodes_clusters": 4,
     "similarity_rows": 200,
+    "apriori_transactions": 300,
+    "apriori_items": 24,
+    "apriori_tx_len": (4, 10),
+    "apriori_min_support": 0.1,
+    "lz77_bytes": 12_000,
+    "webgraph_lists": 120,
+    "webgraph_degree": (5, 25),
 }
 
 
@@ -140,15 +155,113 @@ def run_kernel_bench(cfg: dict) -> dict:
         "speedup": t_reference / t_batched,
         "bit_identical": True,
     }
+
+    # -- Apriori: packed vertical bitmaps vs containment scan --------------
+    from repro.workloads.fpm.apriori import AprioriMiner
+
+    ap_rng = np.random.default_rng(5)
+    lo, hi = cfg["apriori_tx_len"]
+    # Skewed item popularity so multi-item patterns actually survive.
+    weights = 1.0 / np.arange(1, cfg["apriori_items"] + 1)
+    weights /= weights.sum()
+    transactions = [
+        ap_rng.choice(
+            cfg["apriori_items"], size=int(ap_rng.integers(lo, hi)), p=weights
+        ).tolist()
+        for _ in range(cfg["apriori_transactions"])
+    ]
+    fast_miner = AprioriMiner(min_support=cfg["apriori_min_support"], kernel="bitmap")
+    ref_miner = AprioriMiner(min_support=cfg["apriori_min_support"], kernel="reference")
+    out_f = fast_miner.mine(transactions)
+    out_r = ref_miner.mine(transactions)
+    assert out_f.counts == out_r.counts, "apriori kernel diverged"
+    assert out_f.work_units == out_r.work_units
+    t_batched = _best_of(lambda: fast_miner.mine(transactions), repeats=2)
+    t_reference = _best_of(lambda: ref_miner.mine(transactions), repeats=1)
+    results["apriori_mine"] = {
+        "batched_s": t_batched,
+        "reference_s": t_reference,
+        "speedup": t_reference / t_batched,
+        "patterns": len(out_f.counts),
+        "bit_identical": True,
+    }
+
+    # -- LZ77: precomputed-link coder vs hash-chain loop -------------------
+    from repro.workloads.compression.lz77 import LZ77Codec
+
+    lz_rng = np.random.default_rng(7)
+    chunks = [bytes(lz_rng.integers(97, 105, size=40).astype(np.uint8))]
+    data = bytearray()
+    while len(data) < cfg["lz77_bytes"]:
+        if lz_rng.random() < 0.7:
+            data += chunks[int(lz_rng.integers(0, len(chunks)))]
+        else:
+            chunk = bytes(lz_rng.integers(97, 123, size=30).astype(np.uint8))
+            chunks.append(chunk)
+            data += chunk
+    data = bytes(data[: cfg["lz77_bytes"]])
+    fast_codec = LZ77Codec(kernel="fast")
+    ref_codec = LZ77Codec(kernel="reference")
+    blob_f, st_f = fast_codec.compress(data)
+    blob_r, st_r = ref_codec.compress(data)
+    assert blob_f == blob_r and st_f == st_r, "lz77 kernel diverged"
+    assert fast_codec.decompress(blob_f) == data
+    t_batched = _best_of(lambda: fast_codec.compress(data), repeats=2)
+    t_reference = _best_of(lambda: ref_codec.compress(data), repeats=1)
+    results["lz77_compress"] = {
+        "batched_s": t_batched,
+        "reference_s": t_reference,
+        "speedup": t_reference / t_batched,
+        "ratio": st_f.ratio,
+        "bit_identical": True,
+    }
+
+    # -- WebGraph: batched interval/mask coder vs per-symbol loops ---------
+    from repro.workloads.compression.webgraph import WebGraphCodec
+
+    wg_rng = np.random.default_rng(9)
+    dlo, dhi = cfg["webgraph_degree"]
+    base = np.sort(wg_rng.choice(5_000, size=dhi, replace=False))
+    adjacency = []
+    for _ in range(cfg["webgraph_lists"]):
+        if wg_rng.random() < 0.3:
+            base = np.sort(wg_rng.choice(5_000, size=dhi, replace=False))
+        keep = base[wg_rng.random(base.size) < 0.8]
+        extra = wg_rng.choice(5_000, size=int(wg_rng.integers(0, 6)))
+        adjacency.append(np.concatenate([keep, extra]).tolist())
+    fast_wg = WebGraphCodec(kernel="batched")
+    ref_wg = WebGraphCodec(kernel="reference")
+    wg_f, wst_f = fast_wg.compress(adjacency)
+    wg_r, wst_r = ref_wg.compress(adjacency)
+    assert wg_f == wg_r and wst_f == wst_r, "webgraph kernel diverged"
+    t_batched = _best_of(lambda: fast_wg.compress(adjacency), repeats=2)
+    t_reference = _best_of(lambda: ref_wg.compress(adjacency), repeats=1)
+    results["webgraph_compress"] = {
+        "batched_s": t_batched,
+        "reference_s": t_reference,
+        "speedup": t_reference / t_batched,
+        "bits_per_edge": wst_f.bits_per_edge,
+        "bit_identical": True,
+    }
     return results
 
 
+_KERNEL_SECTIONS = (
+    "sketch_all",
+    "kmodes_fit",
+    "similarity_matrix",
+    "apriori_mine",
+    "lz77_compress",
+    "webgraph_compress",
+)
+
+
 def _render(results: dict) -> str:
-    lines = ["kernel            batched      reference    speedup"]
-    for name in ("sketch_all", "kmodes_fit", "similarity_matrix"):
+    lines = ["kernel             batched      reference    speedup"]
+    for name in _KERNEL_SECTIONS:
         r = results[name]
         lines.append(
-            f"{name:<17} {r['batched_s']:>9.3f}s  {r['reference_s']:>9.3f}s  {r['speedup']:>6.2f}x"
+            f"{name:<18} {r['batched_s']:>9.3f}s  {r['reference_s']:>9.3f}s  {r['speedup']:>6.2f}x"
         )
     return "\n".join(lines)
 
@@ -176,7 +289,7 @@ def test_bench_kernels(benchmark):
 
     results = run_once(benchmark, lambda: run_kernel_bench(SMOKE))
     save_result("BENCH_kernels_smoke", _render(results))
-    for name in ("sketch_all", "kmodes_fit", "similarity_matrix"):
+    for name in _KERNEL_SECTIONS:
         assert results[name]["bit_identical"]
 
 

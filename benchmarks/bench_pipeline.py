@@ -1,0 +1,231 @@
+"""End-to-end pipeline benchmark with data-plane payload accounting.
+
+Stages the framework pipeline explicitly — sketch → stratify → profile
+→ optimize → execute — on a real :class:`ProcessPoolEngine` and records
+each stage's wall time, then audits the shared-memory data plane:
+
+- **per-task payload**: pickled bytes of a ``(workload, PartitionRef)``
+  task versus the eager ``(workload, partition)`` tuple, across growing
+  partition sizes — the ref stays O(1) while eager grows linearly;
+- **reuse**: repeating the execute stage over the same partitions adds
+  zero serializations (identity-cache hits), so the profile → execute
+  pipeline pickles each distinct partition exactly once.
+
+Results land in ``benchmarks/results/BENCH_pipeline.json``. Runs
+standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--smoke] [--out PATH]
+
+or as part of the benchmark suite (smoke-sized so ``make bench`` stays
+quick)::
+
+    pytest benchmarks/bench_pipeline.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import pickle
+import time
+
+import numpy as np
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.dataplane import SharedPartitionStore
+from repro.cluster.engines import ProcessPoolEngine
+from repro.core.heterogeneity import ProgressiveSampler
+from repro.core.optimizer import ParetoOptimizer
+from repro.core.partitioner import representative_partitions
+from repro.data.transactions import TransactionConfig, generate_transactions
+from repro.stratify.stratifier import Stratifier
+from repro.workloads.fpm.apriori import AprioriWorkload
+
+FULL = {
+    "num_transactions": 6_000,
+    "num_items": 120,
+    "num_strata": 8,
+    "num_hashes": 32,
+    "min_support": 0.08,
+    "num_nodes": 4,
+    "alpha": 0.5,
+    "payload_scales": (100, 400, 1_600, 6_400),
+}
+SMOKE = {
+    "num_transactions": 600,
+    "num_items": 60,
+    "num_strata": 4,
+    "num_hashes": 16,
+    "min_support": 0.12,
+    "num_nodes": 4,
+    "alpha": 0.5,
+    "payload_scales": (50, 200, 800),
+}
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _payload_bytes(workload, partition) -> dict:
+    """Pickled task-payload bytes for one partition, eager vs by-ref."""
+    eager = len(pickle.dumps((workload, partition), protocol=pickle.HIGHEST_PROTOCOL))
+    with SharedPartitionStore() as store:
+        ref = store.put(partition)
+        by_ref = len(pickle.dumps((workload, ref), protocol=pickle.HIGHEST_PROTOCOL))
+    return {"items": len(partition), "eager_bytes": eager, "ref_bytes": by_ref}
+
+
+def run_pipeline_bench(cfg: dict) -> dict:
+    data = generate_transactions(
+        TransactionConfig(
+            num_transactions=cfg["num_transactions"],
+            num_items=cfg["num_items"],
+            seed=11,
+        )
+    )
+    items = data.transactions
+    workload = AprioriWorkload(min_support=cfg["min_support"], kernel="bitmap")
+    cluster = paper_cluster(cfg["num_nodes"], seed=0)
+    stratifier = Stratifier(
+        kind="set",
+        num_strata=cfg["num_strata"],
+        num_hashes=cfg["num_hashes"],
+        seed=0,
+    )
+
+    stages: dict[str, float] = {}
+    with ProcessPoolEngine(cluster) as engine:
+        # Warm the pool so fork cost lands outside every timed stage.
+        engine.profile(workload, items[: max(8, len(items) // 100)], 0)
+
+        sketches, stages["sketch_s"] = _timed(lambda: stratifier.sketch(items))
+        stratification, stages["stratify_s"] = _timed(
+            lambda: stratifier.stratify(items, sketches=sketches)
+        )
+        sampler = ProgressiveSampler(engine=engine, seed=0)
+        profiling, stages["profile_s"] = _timed(
+            lambda: sampler.profile(workload, items, stratification)
+        )
+
+        def _optimize():
+            optimizer = ParetoOptimizer(
+                models=profiling.models,
+                dirty_coeffs=cluster.dirty_power_coefficients(None),
+            )
+            n = len(items)
+            min_items = min(min(profiling.sample_sizes), n // optimizer.num_partitions)
+            return optimizer, optimizer.solve(n, cfg["alpha"], min_items=min_items)
+
+        (optimizer, plan), stages["optimize_s"] = _timed(_optimize)
+
+        rng = np.random.default_rng(17)
+        indices = representative_partitions(stratification, plan.sizes, rng)
+        partitions = [[items[i] for i in idx] for idx in indices]
+        job, stages["execute_s"] = _timed(lambda: engine.run_job(workload, partitions))
+
+        # Reuse audit: the same partitions must cost zero new pickles.
+        before = engine.dataplane_stats.serializations
+        _, repeat_s = _timed(lambda: engine.run_job(workload, partitions))
+        dp = engine.dataplane_stats
+        reuse = {
+            "repeat_execute_s": repeat_s,
+            "repeat_serializations_added": dp.serializations - before,
+            "refs_issued": dp.refs_issued,
+            "serializations": dp.serializations,
+            "identity_hits": dp.identity_hits,
+            "digest_hits": dp.digest_hits,
+            "segments_created": dp.segments_created,
+            "shared_bytes": dp.shared_bytes,
+            "ref_bytes_per_task": dp.ref_bytes_per_task,
+        }
+
+    payload = [
+        _payload_bytes(workload, items[: min(scale, len(items))])
+        for scale in cfg["payload_scales"]
+    ]
+
+    return {
+        "config": {k: list(v) if isinstance(v, tuple) else v for k, v in cfg.items()},
+        "stages": stages,
+        "pipeline_total_s": sum(stages.values()),
+        "plan_sizes": [int(s) for s in plan.sizes],
+        "job": {
+            "makespan_s": job.makespan_s,
+            "total_dirty_energy_j": job.total_dirty_energy_j,
+            "patterns": len(job.merged_output.counts)
+            if hasattr(job.merged_output, "counts")
+            else None,
+        },
+        "dataplane": reuse,
+        "payload_scaling": payload,
+    }
+
+
+_STAGES = ("sketch_s", "stratify_s", "profile_s", "optimize_s", "execute_s")
+
+
+def _render(results: dict) -> str:
+    lines = ["stage        wall time"]
+    for name in _STAGES:
+        lines.append(f"{name[:-2]:<12} {results['stages'][name]:>8.3f}s")
+    lines.append(f"{'total':<12} {results['pipeline_total_s']:>8.3f}s")
+    dp = results["dataplane"]
+    lines.append(
+        f"\ndata plane: {dp['refs_issued']} refs from {dp['serializations']} pickles "
+        f"({dp['identity_hits']} identity hits, {dp['digest_hits']} digest hits), "
+        f"{dp['ref_bytes_per_task']:.0f} ref bytes/task, "
+        f"+{dp['repeat_serializations_added']} pickles on repeat run"
+    )
+    lines.append("\npartition items   eager bytes   ref bytes")
+    for row in results["payload_scaling"]:
+        lines.append(
+            f"{row['items']:>15}   {row['eager_bytes']:>11}   {row['ref_bytes']:>9}"
+        )
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> None:
+    """The claims the benchmark exists to demonstrate."""
+    rows = results["payload_scaling"]
+    # Ref payload is O(1): flat across a >10x partition-size range …
+    assert max(r["ref_bytes"] for r in rows) <= min(r["ref_bytes"] for r in rows) + 16
+    # … while the eager payload grows with the data.
+    assert rows[-1]["eager_bytes"] > 4 * rows[0]["eager_bytes"]
+    assert rows[-1]["eager_bytes"] > 20 * rows[-1]["ref_bytes"]
+    # Repeating a job over the same partitions re-pickles nothing.
+    assert results["dataplane"]["repeat_serializations_added"] == 0
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI smoke test)")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "results" / "BENCH_pipeline.json",
+    )
+    args = parser.parse_args(argv)
+    results = run_pipeline_bench(SMOKE if args.smoke else FULL)
+    _check(results)
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(_render(results))
+    print(f"[saved to {args.out}]")
+
+
+def test_bench_pipeline(benchmark):
+    # Imported lazily so `python benchmarks/bench_pipeline.py` needs no
+    # pytest on the path; the suite run uses smoke sizes to stay quick.
+    from conftest import run_once, save_result
+
+    results = run_once(benchmark, lambda: run_pipeline_bench(SMOKE))
+    save_result("BENCH_pipeline_smoke", _render(results))
+    _check(results)
+
+
+if __name__ == "__main__":
+    main()

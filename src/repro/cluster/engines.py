@@ -31,6 +31,12 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.dataplane import (
+    DataPlaneStats,
+    PartitionRef,
+    SharedPartitionStore,
+    fetch_partition,
+)
 from repro.workloads.base import Workload, WorkloadResult
 
 
@@ -220,6 +226,17 @@ def _pool_task(args: tuple[Workload, Sequence[Any]]) -> tuple[WorkloadResult, fl
     return result, time.perf_counter() - t0
 
 
+def _pool_task_shm(args: tuple[Workload, PartitionRef]) -> tuple[WorkloadResult, float]:
+    workload, ref = args
+    # Fetch outside the timer: with the eager path the partition was
+    # unpickled by the executor before _pool_task started, so measured
+    # wall time covers only workload.run either way.
+    records = fetch_partition(ref)
+    t0 = time.perf_counter()
+    result = workload.run(records)
+    return result, time.perf_counter() - t0
+
+
 class ProcessPoolEngine(ExecutionEngine):
     """Real parallel engine: wall time scaled by each node's speed factor.
 
@@ -239,12 +256,28 @@ class ProcessPoolEngine(ExecutionEngine):
     the first probe as warm-up). Use the engine as a context manager,
     or call :meth:`shutdown`, to release the workers deterministically;
     a garbage-collected engine tears its pool down without waiting.
+
+    With ``use_shared_memory=True`` (the default) partitions travel
+    through the :mod:`repro.cluster.dataplane` shared-memory store:
+    each distinct partition is serialized once into a shared segment
+    and tasks carry only a tiny :class:`PartitionRef`, so repeated
+    ``run_job``/``profile`` calls over the same partitions never
+    re-pickle the data. :meth:`shutdown` unlinks the segments. Set the
+    flag to ``False`` to pickle partitions into every task tuple (the
+    pre-data-plane behaviour).
     """
 
-    def __init__(self, cluster: Cluster, max_workers: int | None = None):
+    def __init__(
+        self,
+        cluster: Cluster,
+        max_workers: int | None = None,
+        use_shared_memory: bool = True,
+    ):
         super().__init__(cluster)
         self.max_workers = max_workers
+        self.use_shared_memory = use_shared_memory
         self._pool: ProcessPoolExecutor | None = None
+        self._store: SharedPartitionStore | None = None
         self._pools_created = 0
 
     @property
@@ -262,12 +295,32 @@ class ProcessPoolEngine(ExecutionEngine):
             self._pools_created += 1
         return self._pool
 
+    def _ensure_store(self) -> SharedPartitionStore:
+        if self._store is None or self._store.closed:
+            self._store = SharedPartitionStore()
+        return self._store
+
+    @property
+    def dataplane_stats(self) -> DataPlaneStats:
+        """Counters from the shared-memory store (zeros before first use)."""
+        if self._store is None:
+            return DataPlaneStats()
+        return self._store.stats
+
     def shutdown(self, wait: bool = True) -> None:
-        """Release the worker processes. Idempotent; the next job after
-        a shutdown transparently builds a fresh pool."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait)
-            self._pool = None
+        """Release the worker processes and unlink any shared-memory
+        segments. Idempotent; the next job after a shutdown
+        transparently builds a fresh pool (and store)."""
+        # Detach the handles before tearing them down so a failure (or
+        # a re-entrant call) can never double-release.
+        pool, self._pool = getattr(self, "_pool", None), None
+        store, self._store = getattr(self, "_store", None), None
+        try:
+            if pool is not None:
+                pool.shutdown(wait=wait)
+        finally:
+            if store is not None:
+                store.close()
 
     def __enter__(self) -> "ProcessPoolEngine":
         return self
@@ -276,10 +329,13 @@ class ProcessPoolEngine(ExecutionEngine):
         self.shutdown()
 
     def __del__(self) -> None:
+        # Interpreter teardown may have already dismantled the modules
+        # shutdown() needs (ImportError/TypeError/AttributeError from
+        # half-dead internals); a dying engine must stay silent.
         try:
             self.shutdown(wait=False)
-        except Exception:
-            pass  # interpreter teardown: executor internals may be gone
+        except BaseException:
+            pass
 
     def _map_tasks(
         self, workload: Workload, partitions: Sequence[Sequence[Any]]
@@ -289,14 +345,27 @@ class ProcessPoolEngine(ExecutionEngine):
         # Hand each worker a few tasks per round-trip: one pickle per
         # chunk instead of one per partition.
         chunksize = max(1, len(partitions) // (4 * workers))
-        try:
-            return list(
-                pool.map(
-                    _pool_task,
-                    [(workload, list(p)) for p in partitions],
-                    chunksize=chunksize,
+        # Workers must see a real list either way; keeping list inputs
+        # un-copied lets the store's identity cache recognise repeats.
+        parts = [p if isinstance(p, list) else list(p) for p in partitions]
+        if self.use_shared_memory:
+            try:
+                refs = self._ensure_store().put_many(parts)
+            except OSError:
+                # No usable shared memory on this host (e.g. /dev/shm
+                # missing): fall back to eager pickling for good.
+                self.use_shared_memory = False
+            else:
+                return self._run_map(
+                    pool, _pool_task_shm, [(workload, r) for r in refs], chunksize
                 )
-            )
+        return self._run_map(
+            pool, _pool_task, [(workload, p) for p in parts], chunksize
+        )
+
+    def _run_map(self, pool, fn, tasks, chunksize):
+        try:
+            return list(pool.map(fn, tasks, chunksize=chunksize))
         except BrokenProcessPool:
             # A dead worker poisons the whole executor; discard it so
             # the next job starts clean, then surface the failure.
@@ -315,7 +384,9 @@ class ProcessPoolEngine(ExecutionEngine):
     def profile_all_nodes(self, workload, records):
         # Runtime derives from one measured wall time scaled per node —
         # run the sample once on the pool instead of once per node.
-        ((_, wall),) = self._map_tasks(workload, [list(records)])
+        # Passing `records` through unchanged lets repeat probes of the
+        # same sample hit the data plane's identity cache.
+        ((_, wall),) = self._map_tasks(workload, [records])
         return [
             node.task_overhead_s / node.speed_factor + wall / node.speed_factor
             for node in self.cluster

@@ -17,6 +17,7 @@ cannot form an import cycle with ``repro.stratify``.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -91,26 +92,30 @@ def hash_elements(arr: np.ndarray, a: np.ndarray, b: np.ndarray, prime: int) -> 
     return (t + b[None, :]) % prime
 
 
-#: One cached scratch set, keyed by shape. Repeated ``sketch_all``
-#: calls (the distributed stratifier sketches per partition) would
-#: otherwise re-pay the first-touch page-fault cost of ~two
-#: ``chunk_bytes``-sized arrays on every call. Deliberately a single
-#: slot, not a dict: workloads alternate between at most a couple of
-#: shapes and an unbounded cache could pin large dead blocks.
-_SCRATCH: dict[tuple[int, int], tuple[np.ndarray, ...]] = {}
+#: One cached scratch set per thread, keyed by shape. Repeated
+#: ``sketch_all`` calls (the distributed stratifier sketches per
+#: partition) would otherwise re-pay the first-touch page-fault cost of
+#: ~two ``chunk_bytes``-sized arrays on every call. Deliberately a
+#: single slot per thread, not a dict: workloads alternate between at
+#: most a couple of shapes and an unbounded cache could pin large dead
+#: blocks. Thread-local because the kernel writes into the scratch via
+#: ``out=`` — the distributed stratifier sketches from several threads
+#: concurrently, and a shared block would let them corrupt each
+#: other's hashes.
+_SCRATCH = threading.local()
 
 
 def _scratch(k: int, m: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     key = (k, m)
-    if key not in _SCRATCH:
-        _SCRATCH.clear()
-        _SCRATCH[key] = (
+    if getattr(_SCRATCH, "key", None) != key:
+        _SCRATCH.key = key
+        _SCRATCH.blocks = (
             np.empty((k, m), dtype=np.uint64),
             np.empty((k, m), dtype=np.uint64),
             np.empty(m, dtype=np.uint64),
             np.empty(m, dtype=np.uint64),
         )
-    return _SCRATCH[key]
+    return _SCRATCH.blocks
 
 
 def sketch_batch(

@@ -159,11 +159,25 @@ class Stratifier:
             [raw_to_compact.get(int(r), fallback) for r in raw], dtype=np.int64
         )
 
-    def stratify(self, items: Sequence) -> Stratification:
-        """Run the full pipeline on ``items``."""
+    def stratify(
+        self, items: Sequence, sketches: np.ndarray | None = None
+    ) -> Stratification:
+        """Run the full pipeline on ``items``.
+
+        Pass precomputed ``sketches`` (from :meth:`sketch` with the same
+        configuration) to skip re-sketching — callers that stage the
+        pipeline, or that already sketched for another purpose, avoid
+        paying the hash pass twice.
+        """
         if len(items) == 0:
             raise ValueError("cannot stratify an empty dataset")
-        sketches = self.sketch(items)
+        if sketches is None:
+            sketches = self.sketch(items)
+        elif sketches.shape != (len(items), self.num_hashes):
+            raise ValueError(
+                f"sketches shape {sketches.shape} does not match "
+                f"({len(items)}, {self.num_hashes})"
+            )
         kmodes = CompositeKModes(
             num_clusters=self.num_strata,
             top_l=self.top_l,

@@ -18,11 +18,14 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.kvstore.codec import decode_partition, encode_partition
+from repro.perf.lz77_kernels import compress_block
 from repro.workloads.compression.varint import decode_varint, encode_varint
 
 _MIN_MATCH = 4
 _LITERAL_FLAG = 0
 _MATCH_FLAG = 1
+
+_KERNELS = ("fast", "reference")
 
 
 @dataclass
@@ -55,20 +58,45 @@ class LZ77Codec:
         Hash-chain probe cap per position — bounds worst-case time.
     max_match:
         Longest emitted match.
+    kernel:
+        ``"fast"`` runs the precomputed-link coder of
+        :mod:`repro.perf.lz77_kernels`; ``"reference"`` the original
+        hash-chain loop. Blobs and stats are byte-identical.
     """
 
     window: int = 1 << 15
     max_chain: int = 16
     max_match: int = 255
+    kernel: str = "fast"
 
     def __post_init__(self) -> None:
         if self.window <= 0 or self.max_chain <= 0:
             raise ValueError("window and max_chain must be positive")
         if self.max_match < _MIN_MATCH:
             raise ValueError(f"max_match must be >= {_MIN_MATCH}")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
 
     def compress(self, data: bytes) -> tuple[bytes, LZ77Stats]:
         """Compress ``data``; returns the token stream and stats."""
+        if self.kernel == "fast":
+            blob, counters = compress_block(
+                data,
+                window=self.window,
+                max_chain=self.max_chain,
+                max_match=self.max_match,
+            )
+            return blob, LZ77Stats(
+                input_bytes=len(data),
+                output_bytes=len(blob),
+                matches=counters["matches"],
+                literals=counters["literals"],
+                probes=counters["probes"],
+            )
+        return self.compress_reference(data)
+
+    def compress_reference(self, data: bytes) -> tuple[bytes, LZ77Stats]:
+        """Hash-chain reference coder — the fast kernel's oracle."""
         stats = LZ77Stats(input_bytes=len(data))
         out = bytearray(encode_varint(len(data)))
         n = len(data)
@@ -156,8 +184,11 @@ class LZ77Codec:
                 if dist <= 0 or dist > len(out):
                     raise ValueError("match distance out of range")
                 start = len(out) - dist
-                for i in range(length):  # may self-overlap, copy byte-wise
-                    out.append(out[start + i])
+                if dist >= length:  # disjoint source: one slice copy
+                    out += out[start : start + length]
+                else:
+                    for i in range(length):  # self-overlapping, byte-wise
+                        out.append(out[start + i])
             else:
                 raise ValueError(f"unknown token flag {flag}")
         if len(out) != total:

@@ -17,9 +17,18 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.perf.fpm_kernels import (
+    candidate_supports,
+    pack_transactions,
+    pattern_supports,
+)
 from repro.workloads.base import Workload, WorkloadResult
 
 Pattern = tuple[int, ...]
+
+_KERNELS = ("bitmap", "reference")
 
 
 @dataclass
@@ -45,19 +54,85 @@ class AprioriMiner:
         Relative support threshold in (0, 1].
     max_len:
         Optional cap on pattern length (None = unbounded).
+    kernel:
+        ``"bitmap"`` counts candidates on the packed vertical bitmaps
+        of :mod:`repro.perf.fpm_kernels`; ``"reference"`` runs the
+        original per-transaction containment scan. Outputs (supports,
+        candidate counts, work units) are bit-identical.
     """
 
     min_support: float
     max_len: int | None = None
+    kernel: str = "bitmap"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
         if self.max_len is not None and self.max_len < 1:
             raise ValueError("max_len must be >= 1")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
 
     def mine(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
         """Mine all frequent itemsets of ``transactions``."""
+        if self.kernel == "bitmap":
+            return self._mine_bitmap(transactions)
+        return self.mine_reference(transactions)
+
+    def _mine_bitmap(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
+        """Levelwise mining over the packed vertical bitmap.
+
+        Identical candidate generation (the shared
+        :meth:`_generate_candidates`), identical accounting: level 1
+        charges Σ distinct items per transaction, level ``k`` charges
+        ``n_tx`` checks per candidate — exactly what the reference scan
+        performs — so work units match to the digit.
+        """
+        bitmap = pack_transactions(transactions)
+        n = bitmap.num_transactions
+        if n == 0:
+            return MiningOutput(counts={}, num_transactions=0, candidates_generated=0, work_units=0.0)
+        min_count = max(1, int(-(-self.min_support * n // 1)))  # ceil
+
+        work = float(bitmap.total_occurrences)
+        candidates_total = bitmap.num_items
+
+        frequent: dict[Pattern, int] = {
+            (int(item),): int(c)
+            for item, c in zip(bitmap.items, bitmap.supports)
+            if c >= min_count
+        }
+        result = dict(frequent)
+
+        k = 2
+        current = sorted(frequent)
+        while current and (self.max_len is None or k <= self.max_len):
+            candidates = self._generate_candidates(current, k)
+            candidates_total += len(candidates)
+            if not candidates:
+                break
+            work += float(n * len(candidates))
+            rows = bitmap.rows_for(np.asarray(candidates, dtype=np.int64))
+            supports = candidate_supports(bitmap, rows)
+            survivors = [
+                (cand, int(c))
+                for cand, c in zip(candidates, supports)
+                if c >= min_count
+            ]
+            current = sorted(c for c, _ in survivors)
+            for cand, c in survivors:
+                result[cand] = c
+            k += 1
+
+        return MiningOutput(
+            counts=result,
+            num_transactions=n,
+            candidates_generated=candidates_total,
+            work_units=work,
+        )
+
+    def mine_reference(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
+        """Per-transaction containment scan — the bitmap kernel's oracle."""
         tx = [frozenset(t) for t in transactions]
         n = len(tx)
         if n == 0:
@@ -128,13 +203,38 @@ class AprioriMiner:
 
 
 def count_patterns(
-    transactions: Sequence[Iterable[int]], patterns: Sequence[Pattern]
+    transactions: Sequence[Iterable[int]],
+    patterns: Sequence[Pattern],
+    kernel: str = "bitmap",
 ) -> tuple[dict[Pattern, int], float]:
     """Support counts of explicit ``patterns`` over ``transactions``.
 
     This is the global-pruning scan of Savasere's algorithm. Returns the
-    counts and the containment-check work performed.
+    counts and the containment-check work performed. ``kernel="bitmap"``
+    packs the partition once and counts every pattern via popcount over
+    ANDed item rows; patterns naming items this partition never saw
+    count 0, as in the reference scan.
     """
+    if kernel not in _KERNELS:
+        raise ValueError(f"kernel must be one of {_KERNELS}")
+    if kernel == "bitmap":
+        pats = list(patterns)
+        bitmap = pack_transactions(transactions)
+        supports = pattern_supports(bitmap, pats)
+        # A pattern listed m times is incremented m times per matching
+        # transaction by the reference scan; mirror that exactly.
+        multiplicity: dict[Pattern, int] = defaultdict(int)
+        for p in pats:
+            multiplicity[p] += 1
+        counts = {p: supports[p] * m for p, m in multiplicity.items()}
+        return counts, float(bitmap.num_transactions * len(pats))
+    return count_patterns_reference(transactions, patterns)
+
+
+def count_patterns_reference(
+    transactions: Sequence[Iterable[int]], patterns: Sequence[Pattern]
+) -> tuple[dict[Pattern, int], float]:
+    """Per-transaction containment scan — the bitmap kernel's oracle."""
     pattern_sets = [(p, frozenset(p)) for p in patterns]
     counts: dict[Pattern, int] = {p: 0 for p, _ in pattern_sets}
     work = 0.0
@@ -157,8 +257,10 @@ class AprioriWorkload(Workload):
 
     name = "apriori-local"
 
-    def __init__(self, min_support: float, max_len: int | None = None):
-        self.miner = AprioriMiner(min_support=min_support, max_len=max_len)
+    def __init__(
+        self, min_support: float, max_len: int | None = None, kernel: str = "bitmap"
+    ):
+        self.miner = AprioriMiner(min_support=min_support, max_len=max_len, kernel=kernel)
 
     @property
     def min_support(self) -> float:
@@ -190,17 +292,26 @@ class CandidateCountWorkload(Workload):
 
     name = "apriori-count"
 
-    def __init__(self, candidates: Sequence[Pattern], min_support: float, total_transactions: int):
+    def __init__(
+        self,
+        candidates: Sequence[Pattern],
+        min_support: float,
+        total_transactions: int,
+        kernel: str = "bitmap",
+    ):
         if total_transactions <= 0:
             raise ValueError("total_transactions must be positive")
         if not 0.0 < min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
+        if kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
         self.candidates = sorted(set(candidates))
         self.min_support = min_support
         self.total_transactions = total_transactions
+        self.kernel = kernel
 
     def run(self, records: Sequence[Iterable[int]]) -> WorkloadResult:
-        counts, work = count_patterns(records, self.candidates)
+        counts, work = count_patterns(records, self.candidates, kernel=self.kernel)
         return WorkloadResult(
             work_units=work,
             output=counts,

@@ -12,25 +12,97 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.perf.fpm_kernels import intersect_supports, pack_transactions
 from repro.workloads.base import Workload, WorkloadResult
-from repro.workloads.fpm.apriori import MiningOutput, Pattern
+from repro.workloads.fpm.apriori import _KERNELS, MiningOutput, Pattern
 
 
 @dataclass
 class EclatMiner:
-    """Configured Eclat miner (equivalent output to :class:`AprioriMiner`)."""
+    """Configured Eclat miner (equivalent output to :class:`AprioriMiner`).
+
+    ``kernel="bitmap"`` keeps tidlists as packed uint64 bitmaps and
+    batches every DFS node's extension intersections into one
+    ``np.bitwise_and`` + popcount; ``kernel="reference"`` is the
+    original frozenset DFS. Traversal order, candidate counts and work
+    units are identical.
+    """
 
     min_support: float
     max_len: int | None = None
+    kernel: str = "bitmap"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
         if self.max_len is not None and self.max_len < 1:
             raise ValueError("max_len must be >= 1")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}")
 
     def mine(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
         """Mine all frequent itemsets via DFS tidlist intersection."""
+        if self.kernel == "bitmap":
+            return self._mine_bitmap(transactions)
+        return self.mine_reference(transactions)
+
+    def _mine_bitmap(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
+        bitmap = pack_transactions(transactions)
+        n = bitmap.num_transactions
+        if n == 0:
+            return MiningOutput(counts={}, num_transactions=0, candidates_generated=0, work_units=0.0)
+        min_count = max(1, int(-(-self.min_support * n // 1)))
+
+        work = float(bitmap.total_occurrences)
+        candidates = bitmap.num_items
+        item_support = {
+            int(i): int(c) for i, c in zip(bitmap.items, bitmap.supports)
+        }
+        item_row = {int(i): r for r, i in enumerate(bitmap.items)}
+
+        frequent_items = sorted(i for i, c in item_support.items() if c >= min_count)
+        result: dict[Pattern, int] = {(i,): item_support[i] for i in frequent_items}
+
+        # Stack entries mirror the reference exactly: (prefix, prefix
+        # tidlist as a bitmap row, its support, candidate extensions).
+        stack: list[tuple[Pattern, np.ndarray, int, list[int]]] = [
+            ((i,), bitmap.bits[item_row[i]], item_support[i], frequent_items[idx + 1 :])
+            for idx, i in enumerate(frequent_items)
+        ]
+        while stack:
+            prefix, tids, tids_support, extensions = stack.pop()
+            if self.max_len is not None and len(prefix) >= self.max_len:
+                continue
+            if not extensions:
+                continue
+            candidates += len(extensions)
+            ext_rows = np.array([item_row[e] for e in extensions], dtype=np.int64)
+            inter, counts = intersect_supports(tids, ext_rows, bitmap)
+            work += float(
+                sum(min(tids_support, item_support[e]) for e in extensions)
+            )
+            survivors = [
+                (ext, inter[pos], int(counts[pos]))
+                for pos, ext in enumerate(extensions)
+                if counts[pos] >= min_count
+            ]
+            items_only = [e for e, _, _ in survivors]
+            for pos, (ext, bits, support) in enumerate(survivors):
+                pattern = prefix + (ext,)
+                result[pattern] = support
+                stack.append((pattern, bits, support, items_only[pos + 1 :]))
+
+        return MiningOutput(
+            counts=result,
+            num_transactions=n,
+            candidates_generated=candidates,
+            work_units=work,
+        )
+
+    def mine_reference(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
+        """Frozenset-tidlist DFS — the bitmap kernel's oracle."""
         tx = [set(t) for t in transactions]
         n = len(tx)
         if n == 0:
@@ -83,8 +155,10 @@ class EclatWorkload(Workload):
 
     name = "eclat-local"
 
-    def __init__(self, min_support: float, max_len: int | None = None):
-        self.miner = EclatMiner(min_support=min_support, max_len=max_len)
+    def __init__(
+        self, min_support: float, max_len: int | None = None, kernel: str = "bitmap"
+    ):
+        self.miner = EclatMiner(min_support=min_support, max_len=max_len, kernel=kernel)
 
     @property
     def min_support(self) -> float:

@@ -63,6 +63,9 @@ class SavasereJob:
     engine: ExecutionEngine
     min_support: float
     max_len: int | None = None
+    #: Kernel for both phases: ``"bitmap"`` (packed vertical bitmaps)
+    #: or ``"reference"`` — outputs are bit-identical either way.
+    kernel: str = "bitmap"
 
     def run(
         self,
@@ -74,7 +77,9 @@ class SavasereJob:
         if total == 0:
             raise ValueError("cannot mine an empty dataset")
 
-        local = AprioriWorkload(min_support=self.min_support, max_len=self.max_len)
+        local = AprioriWorkload(
+            min_support=self.min_support, max_len=self.max_len, kernel=self.kernel
+        )
         local_job = self.engine.run_job(local, partitions, assignment)
         candidates: set[Pattern] = local_job.merged_output
 
@@ -82,6 +87,7 @@ class SavasereJob:
             candidates=sorted(candidates),
             min_support=self.min_support,
             total_transactions=total,
+            kernel=self.kernel,
         )
         # The global scan starts after the phase-1 barrier, so its energy
         # is billed against the later trace window.

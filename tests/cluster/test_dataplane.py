@@ -1,0 +1,198 @@
+"""Tests for the shared-memory partition data plane."""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.dataplane import (
+    PartitionRef,
+    SharedPartitionStore,
+    fetch_partition,
+)
+from repro.cluster.engines import ProcessPoolEngine
+from repro.workloads.base import Workload, WorkloadResult
+
+
+class SummingWorkload(Workload):
+    name = "summing"
+
+    def run(self, records: Sequence[int]) -> WorkloadResult:
+        return WorkloadResult(work_units=float(len(records)), output=sum(records))
+
+    def merge(self, partials):
+        return sum(p.output for p in partials)
+
+
+@pytest.fixture()
+def store():
+    with SharedPartitionStore() as s:
+        yield s
+
+
+class TestRoundTrip:
+    def test_list_partition(self, store):
+        part = [[1, 2, 3], [4], []]
+        ref = store.put(part)
+        assert fetch_partition(ref) == part
+
+    def test_numpy_partition_goes_out_of_band(self, store):
+        arr = np.arange(4096, dtype=np.int64)
+        ref = store.put(arr)
+        assert ref.buffer_lengths  # protocol-5 out-of-band buffer
+        got = fetch_partition(ref)
+        assert np.array_equal(got, arr)
+        # The frame itself stays tiny: array bytes live out-of-band.
+        assert ref.frame_bytes < 1024
+
+    def test_mixed_batch(self, store):
+        parts = [[1, 2], list(range(100)), [{"k": "v"}]]
+        refs = store.put_many(parts)
+        assert [fetch_partition(r) for r in refs] == parts
+
+
+class TestCaching:
+    def test_identity_hit_skips_serialization(self, store):
+        part = [list(range(50))]
+        r1 = store.put(part)
+        r2 = store.put(part)
+        assert r1 == r2
+        assert store.stats.serializations == 1
+        assert store.stats.identity_hits == 1
+
+    def test_digest_hit_reuses_published_bytes(self, store):
+        r1 = store.put([1, 2, 3])
+        r2 = store.put([1, 2, 3])  # new object, same bytes
+        assert r1 == r2
+        assert store.stats.digest_hits == 1
+        assert store.stats.segments_created == 1
+
+    def test_distinct_partitions_get_distinct_refs(self, store):
+        r1, r2 = store.put_many([[1], [2]])
+        assert r1 != r2
+        assert fetch_partition(r1) == [1] and fetch_partition(r2) == [2]
+
+    def test_clear_cache_forces_reserialization(self, store):
+        part = [1, 2]
+        store.put(part)
+        store.clear_cache()
+        store.put(part)
+        assert store.stats.serializations == 2
+
+
+class TestRefSize:
+    def test_ref_bytes_constant_in_partition_size(self, store):
+        small = [list(range(10))]
+        large = [list(range(100_000))]
+        r_small, r_large = store.put(small), store.put(large)
+        b_small = len(pickle.dumps(r_small, protocol=5))
+        b_large = len(pickle.dumps(r_large, protocol=5))
+        # The ref payload is a name + three ints: growing the partition
+        # 10,000x moves the task payload by a few digit widths at most.
+        assert b_large <= b_small + 16
+        eager_large = len(pickle.dumps(large, protocol=5))
+        assert b_large < eager_large / 100
+
+    def test_stats_track_ref_bytes(self, store):
+        store.put_many([[1], [2], [3]])
+        assert store.stats.refs_issued == 3
+        assert 0 < store.stats.ref_bytes_per_task < 512
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self):
+        store = SharedPartitionStore()
+        ref = store.put(list(range(1000)))
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=ref.segment, create=False)
+
+    def test_close_is_idempotent(self):
+        store = SharedPartitionStore()
+        store.put([1])
+        store.close()
+        store.close()
+        assert store.closed
+
+    def test_put_after_close_rejected(self):
+        store = SharedPartitionStore()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put([1])
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return paper_cluster(2, seed=0)
+
+    def test_shm_and_eager_agree(self, cluster):
+        parts = [[1, 2, 3], [4, 5], list(range(50))]
+        with ProcessPoolEngine(cluster, max_workers=2) as shm_engine:
+            shm_job = shm_engine.run_job(SummingWorkload(), parts)
+            assert shm_engine.dataplane_stats.refs_issued == 3
+        with ProcessPoolEngine(cluster, max_workers=2, use_shared_memory=False) as eager:
+            eager_job = eager.run_job(SummingWorkload(), parts)
+            assert eager.dataplane_stats.refs_issued == 0
+        assert shm_job.merged_output == eager_job.merged_output == sum(map(sum, parts))
+
+    def test_repeat_jobs_never_reserialize(self, cluster):
+        parts = [[1] * 200, [2] * 200]
+        with ProcessPoolEngine(cluster, max_workers=2) as engine:
+            engine.run_job(SummingWorkload(), parts)
+            engine.run_job(SummingWorkload(), parts)
+            engine.profile_all_nodes(SummingWorkload(), parts[0])
+            stats = engine.dataplane_stats
+        assert stats.serializations == 2
+        assert stats.identity_hits == 3
+        assert stats.segments_created == 1
+
+    def test_shutdown_unlinks_and_next_job_rebuilds(self, cluster):
+        engine = ProcessPoolEngine(cluster, max_workers=1)
+        engine.run_job(SummingWorkload(), [[1, 2]])
+        seg = engine._store._segments[0].name
+        engine.shutdown()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=seg, create=False)
+        job = engine.run_job(SummingWorkload(), [[3, 4]])
+        assert job.merged_output == 7
+        engine.shutdown()
+
+    def test_interpreter_exit_without_shutdown_is_silent(self):
+        """Satellite check: a script that never calls shutdown() must not
+        leak /dev/shm segments or print teardown noise (ImportError /
+        TypeError / resource_tracker KeyError) at exit."""
+        script = textwrap.dedent(
+            """
+            from tests.cluster.test_dataplane import SummingWorkload
+            from repro.cluster.cluster import paper_cluster
+            from repro.cluster.engines import ProcessPoolEngine
+
+            engine = ProcessPoolEngine(paper_cluster(2, seed=0), max_workers=2)
+            job = engine.run_job(SummingWorkload(), [[1, 2], [3]])
+            assert job.merged_output == 6
+            # no shutdown(): atexit + __del__ must clean up quietly
+            """
+        )
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(root, "src"), root, env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        for noise in ("Traceback", "ImportError", "TypeError", "KeyError", "leaked"):
+            assert noise not in proc.stderr, proc.stderr

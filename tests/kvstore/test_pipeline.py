@@ -72,6 +72,45 @@ class TestAutoFlush:
             Pipeline(store, width=-1)
 
 
+class TestAutoFlushOrdering:
+    """Regression pins: results must come back in enqueue order even
+    when ``width`` splits a logical batch across several auto-flushes."""
+
+    def test_results_span_auto_flush_boundary_in_order(self, store):
+        pipe = Pipeline(store, width=2)
+        pipe.set("k", 5).incr("c")  # auto-flush #1 fires here
+        pipe.get("k").incr("c").get("c")  # auto-flush #2 mid-chain
+        assert pipe.execute() == [None, 1, 5, 2, 2]
+        assert pipe.flushes >= 2
+
+    def test_width_one_flushes_every_command_in_order(self, store):
+        pipe = Pipeline(store, width=1)
+        for i in range(5):
+            pipe.rpush("l", i)
+        pipe.llen("l")
+        assert pipe.execute() == [1, 2, 3, 4, 5, 5]
+        assert pipe.flushes == 6
+        assert store.lrange("l") == [0, 1, 2, 3, 4]
+
+    def test_partial_tail_after_auto_flush_is_kept(self, store):
+        pipe = Pipeline(store, width=3)
+        pipe.set("a", 1).set("b", 2).set("c", 3)  # exactly one flush
+        pipe.set("d", 4)  # below width: still queued
+        assert store.get("d") is None
+        assert len(pipe) == 1
+        assert pipe.execute() == [None, None, None, None]
+        assert store.get("d") == 4
+
+    def test_interleaved_reads_see_earlier_flushed_writes(self, store):
+        # A read queued after an auto-flush boundary must observe the
+        # writes that boundary committed, and order must be preserved.
+        pipe = Pipeline(store, width=2)
+        results = (
+            pipe.set("x", 10).set("y", 20).get("x").get("y").incr("x").execute()
+        )
+        assert results == [None, None, 10, 20, 11]
+
+
 class TestContextManager:
     def test_flushes_on_clean_exit(self, store):
         with Pipeline(store, width=0) as pipe:

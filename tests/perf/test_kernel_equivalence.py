@@ -78,6 +78,35 @@ class TestSketchBatchEquivalence:
         with pytest.raises(ValueError):
             MinHasher(num_hashes=4).sketch_all([{1}, {2**32}])
 
+    def test_concurrent_sketch_all_is_race_free(self):
+        # The distributed stratifier sketches from several threads at
+        # once; the kernel's reusable scratch must be thread-local or
+        # concurrent `out=` writes corrupt each other's hashes
+        # nondeterministically. Small chunk_bytes forces many chunk
+        # iterations per call to maximise interleaving.
+        import threading
+
+        rng = np.random.default_rng(12)
+        sets = [
+            rng.integers(0, 2**32, size=int(rng.integers(5, 60))).astype(np.uint64)
+            for _ in range(400)
+        ]
+        hasher = MinHasher(num_hashes=16, seed=2, chunk_bytes=2048)
+        expected = hasher.sketch_all(sets)
+        results: dict[int, np.ndarray] = {}
+
+        def work(tid: int) -> None:
+            for _ in range(5):
+                results[tid] = hasher.sketch_all(sets)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for tid, got in results.items():
+            assert np.array_equal(got, expected), f"thread {tid} diverged"
+
 
 class TestElementCoercion:
     def test_integer_ndarray_fast_path_no_copy(self):

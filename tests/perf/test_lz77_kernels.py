@@ -1,0 +1,117 @@
+"""Byte-identity tests: fast LZ77 / batched WebGraph coders vs reference.
+
+The fast coders claim byte-for-byte identical blobs *and* identical
+probe/match/literal statistics. Hypothesis drives repetitive byte
+streams (where matches and chain walks actually trigger) and adjacency
+partitions through both paths; tiny windows and ``max_chain=1`` stress
+the deque-trimming probe accounting the fast coder emulates.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.lz77_kernels import (
+    build_match_links,
+    encode_varint_batch,
+    encode_varints_bytes,
+)
+from repro.workloads.compression.lz77 import LZ77Codec
+from repro.workloads.compression.varint import encode_varint
+from repro.workloads.compression.webgraph import WebGraphCodec
+
+# Low-alphabet streams maximise match density; st.binary covers the
+# incompressible end.
+repetitive_strategy = st.lists(
+    st.sampled_from([b"abcab", b"aaaa", b"xyz", b"\x00\x00\x00\x00", b"q"]),
+    max_size=40,
+).map(b"".join)
+
+
+class TestBuildMatchLinks:
+    def test_short_input_has_no_links(self):
+        assert build_match_links(b"abc").size == 0
+
+    def test_links_point_to_nearest_same_key(self):
+        data = b"abcdXabcdYabcd"
+        links = build_match_links(data)
+        assert links[5] == 0  # second "abcd" -> first
+        assert links[10] == 5  # third "abcd" -> second
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_links_are_exact_key_matches(self, data):
+        links = build_match_links(data)
+        for i, j in enumerate(links.tolist()):
+            if j >= 0:
+                assert data[j : j + 4] == data[i : i + 4]
+                assert j < i
+
+
+class TestVarintBatch:
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_byte_identical_to_scalar(self, values):
+        buf, offsets = encode_varint_batch(values)
+        scalar = b"".join(encode_varint(v) for v in values)
+        assert buf.tobytes() == scalar
+        for i, v in enumerate(values):
+            assert bytes(buf[offsets[i] : offsets[i + 1]]) == encode_varint(v)
+
+    def test_uint64_edge_values(self):
+        edges = [0, 127, 128, 2**63 - 1, 2**63, 2**64 - 1]
+        assert encode_varints_bytes(edges) == b"".join(encode_varint(v) for v in edges)
+
+    def test_empty(self):
+        buf, offsets = encode_varint_batch([])
+        assert buf.size == 0 and offsets.tolist() == [0]
+
+
+class TestLZ77Equivalence:
+    @given(
+        repetitive_strategy | st.binary(max_size=300),
+        st.sampled_from([4, 16, 1 << 15]),
+        st.sampled_from([1, 2, 16]),
+        st.sampled_from([4, 8, 255]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_blob_and_stats_match_reference(self, data, window, max_chain, max_match):
+        fast = LZ77Codec(window=window, max_chain=max_chain, max_match=max_match, kernel="fast")
+        ref = LZ77Codec(window=window, max_chain=max_chain, max_match=max_match, kernel="reference")
+        blob_f, st_f = fast.compress(data)
+        blob_r, st_r = ref.compress(data)
+        assert blob_f == blob_r
+        assert st_f == st_r
+        assert fast.decompress(blob_f) == data
+
+    @given(st.lists(st.lists(st.integers(0, 50), max_size=10), max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_record_roundtrip(self, records):
+        codec = LZ77Codec(kernel="fast")
+        blob, _ = codec.compress_records(records)
+        assert codec.decompress_records(blob) == [[int(v) for v in r] for r in records]
+
+
+class TestWebGraphEquivalence:
+    adjacency_strategy = st.lists(
+        st.lists(st.integers(min_value=0, max_value=120), max_size=25),
+        max_size=20,
+    )
+
+    @given(adjacency_strategy, st.sampled_from([0, 1, 3, 7]))
+    @settings(max_examples=50, deadline=None)
+    def test_blob_and_stats_match_reference(self, adjacency, window):
+        fast = WebGraphCodec(window=window, kernel="batched")
+        ref = WebGraphCodec(window=window, kernel="reference")
+        blob_f, st_f = fast.compress(adjacency)
+        blob_r, st_r = ref.compress(adjacency)
+        assert blob_f == blob_r
+        assert st_f == st_r
+        expected = [sorted(set(int(v) for v in lst)) for lst in adjacency]
+        assert fast.decompress(blob_f) == expected
+
+    def test_interval_heavy_lists(self):
+        adjacency = [list(range(10, 40)), list(range(10, 40)) + [99], [0, 2, 4, 6]]
+        fast, _ = WebGraphCodec(kernel="batched").compress(adjacency)
+        ref, _ = WebGraphCodec(kernel="reference").compress(adjacency)
+        assert fast == ref

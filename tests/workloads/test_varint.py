@@ -47,6 +47,21 @@ class TestVarint:
         blob = encode_varint(value)
         assert decode_varint(blob) == (value, len(blob))
 
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=100)
+    def test_roundtrip_full_uint64_property(self, value):
+        blob = encode_varint(value)
+        assert decode_varint(blob) == (value, len(blob))
+
+    @pytest.mark.parametrize(
+        "value,length",
+        [(2**63 - 1, 9), (2**63, 10), (2**64 - 1, 10), (2**56 - 1, 8), (2**56, 9)],
+    )
+    def test_uint64_edge_lengths(self, value, length):
+        blob = encode_varint(value)
+        assert len(blob) == length
+        assert decode_varint(blob) == (value, len(blob))
+
 
 class TestVarintList:
     def test_roundtrip(self):

@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-kernels bench-pipeline examples results clean
+.PHONY: install test bench bench-kernels bench-pipeline obs-smoke examples results clean
 
 install:
 	python setup.py develop
@@ -16,6 +16,9 @@ bench-kernels:
 
 bench-pipeline:
 	PYTHONPATH=src python benchmarks/bench_pipeline.py
+
+obs-smoke:
+	PYTHONPATH=src python benchmarks/obs_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -1,0 +1,134 @@
+"""End-to-end observability smoke test (``make obs-smoke``).
+
+Runs one tiny fully-traced pipeline job, then checks the acceptance
+contract of the ``repro.obs`` subsystem:
+
+- the JSONL trace validates against the schema and covers all five
+  pipeline stages (sketch, stratify, profile, optimize,
+  partition/execute) plus every executed task;
+- per-task energy attributes in the trace sum (within 1e-6) to the
+  run report's job totals;
+- the metrics snapshot carries job/task/energy series;
+- ``repro obs report`` renders the per-stage / per-node tables.
+
+Artifacts (JSONL + Chrome trace, metrics snapshot, Prometheus text,
+rendered report) land in ``--out`` (default
+``benchmarks/results/obs_smoke/``) so CI can upload them::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+import repro.obs as obs
+from repro.bench.harness import StrategyRunner
+from repro.cli import main as repro_main
+from repro.core.strategies import HET_AWARE
+from repro.obs.energy import energy_split
+from repro.obs.report import report_from_file
+from repro.workloads.fpm.apriori import AprioriWorkload
+
+FIVE_STAGES = (
+    "stage.sketch",
+    "stage.stratify",
+    "stage.profile",
+    "stage.optimize",
+    "stage.partition",
+    "stage.execute",
+)
+
+
+def run_smoke(out: pathlib.Path) -> dict:
+    out.mkdir(parents=True, exist_ok=True)
+    obs.disable()
+    obs.reset()
+    obs.enable()
+
+    runner = StrategyRunner.from_name(
+        "rcv1",
+        lambda: AprioriWorkload(min_support=0.15, max_len=2),
+        size_scale=0.05,
+    )
+    report = runner.run(HET_AWARE, partitions=4)
+
+    jsonl = out / "run.trace.jsonl"
+    chrome = out / "run.trace.chrome.json"
+    span_count = obs.export_jsonl(jsonl)
+    obs.export_chrome(chrome)
+    snapshot = obs.metrics_snapshot()
+    (out / "metrics.json").write_text(json.dumps(snapshot, indent=2) + "\n")
+    (out / "metrics.prom").write_text(obs.render_prometheus())
+    obs.disable()
+
+    # 1. Schema validation + stage coverage.
+    summary = obs.validate_jsonl(jsonl)
+    assert summary["spans"] == span_count
+    missing = [s for s in FIVE_STAGES if s not in summary["names"]]
+    assert not missing, f"trace missing stages: {missing}"
+
+    # 2. Every executed task has a span, and the traced energy sums to
+    #    the job totals.
+    _meta, spans = obs.read_spans(jsonl)
+    task_spans = [s for s in spans if s["name"] == "task.execute"]
+    assert len(task_spans) == len(report.job.tasks), (
+        len(task_spans), len(report.job.tasks),
+    )
+    split = energy_split(spans)
+    assert math.isclose(split["energy_j"], report.total_energy_j, abs_tol=1e-6)
+    assert math.isclose(
+        split["dirty_energy_j"], report.total_dirty_energy_j, abs_tol=1e-6
+    )
+
+    # 3. Metrics snapshot carries the expected series.
+    for prefix in (
+        "repro_jobs_total",
+        "repro_tasks_total",
+        "repro_task_runtime_seconds",
+        "repro_energy_joules_total",
+    ):
+        assert any(k.startswith(prefix) for k in snapshot), prefix
+
+    # 4. The report command renders both tables.
+    assert repro_main(["obs", "report", str(jsonl)]) == 0
+    text = report_from_file(jsonl)
+    assert "pipeline stages" in text and "per-node tasks & energy" in text
+    (out / "report.txt").write_text(text + "\n")
+
+    return {
+        "spans": span_count,
+        "task_spans": len(task_spans),
+        "stages": [s for s in summary["names"] if s.startswith("stage.")],
+        "metric_series": len(snapshot),
+        "energy_j": split["energy_j"],
+        "green_fraction": split["green_fraction"],
+        "artifacts": sorted(p.name for p in out.iterdir()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "results" / "obs_smoke",
+    )
+    args = parser.parse_args(argv)
+    info = run_smoke(args.out)
+    print(
+        f"\nobs smoke OK: {info['spans']} spans ({info['task_spans']} tasks, "
+        f"stages: {', '.join(info['stages'])}), {info['metric_series']} metric "
+        f"series, {info['energy_j']:.1f} J traced "
+        f"(green fraction {info['green_fraction']:.3f})"
+    )
+    print(f"[artifacts in {args.out}: {', '.join(info['artifacts'])}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,12 @@ Public entry points:
 - :func:`repro.data.load_dataset` — synthetic analogs of the paper's
   five datasets;
 - :mod:`repro.bench` — the experiment harness regenerating every table
-  and figure of the paper's evaluation.
+  and figure of the paper's evaluation;
+- :mod:`repro.obs` — opt-in tracing, metrics and energy telemetry
+  (``obs.enable()``; see ``docs/observability.md``).
 """
 
+from repro import obs
 from repro.core.framework import ParetoPartitioner, RunReport
 from repro.core.strategies import HET_AWARE, RANDOM, STRATIFIED, Strategy, het_energy_aware
 from repro.cluster.cluster import homogeneous_cluster, paper_cluster
@@ -38,5 +41,6 @@ __all__ = [
     "SimulatedEngine",
     "ProcessPoolEngine",
     "load_dataset",
+    "obs",
     "__version__",
 ]

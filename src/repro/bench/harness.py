@@ -8,9 +8,12 @@ one-time cost.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+import repro.obs as obs
+from repro.obs.log import get_logger, log_event
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.engines import SimulatedEngine
 from repro.core.framework import ParetoPartitioner, PreparedInput, RunReport
@@ -21,6 +24,8 @@ from repro.workloads.fpm.apriori import AprioriWorkload
 from repro.workloads.fpm.eclat import EclatWorkload
 from repro.workloads.fpm.fpgrowth import FPGrowthWorkload
 from repro.workloads.fpm.treemining import TreeMiningWorkload
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -118,11 +123,27 @@ class StrategyRunner:
 
     def run(self, strategy: Strategy, partitions: int) -> RunReport:
         """Execute one strategy on a ``partitions``-node cluster."""
-        pp, prep = self.prepared_for(partitions)
-        workload = self.workload_factory()
-        if _is_mining(workload):
-            return pp.execute_fpm(self.dataset.items, workload, strategy, prepared=prep)
-        return pp.execute(self.dataset.items, workload, strategy, prepared=prep)
+        with obs.span(
+            "harness.run",
+            dataset=self.dataset.name,
+            strategy=strategy.name,
+            partitions=partitions,
+        ):
+            pp, prep = self.prepared_for(partitions)
+            workload = self.workload_factory()
+            if _is_mining(workload):
+                report = pp.execute_fpm(
+                    self.dataset.items, workload, strategy, prepared=prep
+                )
+            else:
+                report = pp.execute(self.dataset.items, workload, strategy, prepared=prep)
+        log_event(
+            _log, logging.DEBUG, "harness.run.done",
+            dataset=self.dataset.name, strategy=strategy.name, partitions=partitions,
+            makespan_s=round(report.makespan_s, 4),
+            dirty_energy_j=round(report.total_dirty_energy_j, 2),
+        )
+        return report
 
     def row(self, strategy: Strategy, partitions: int) -> ExperimentRow:
         """Execute and condense into an :class:`ExperimentRow`."""

@@ -13,6 +13,9 @@ Commands
 ``profile``
     Run progressive sampling on a dataset/workload and print the
     learned per-node time models.
+``obs report``
+    Summarise a JSONL trace (per-stage latency, per-node energy,
+    slowest spans); produce traces with ``compare --trace PATH``.
 """
 
 from __future__ import annotations
@@ -107,10 +110,20 @@ def cmd_datasets(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    import repro.obs as obs
+
+    if args.trace:
+        obs.enable()
+        obs.reset()
     runner = _runner(args)
     workload = args.workload or _default_workload(runner.dataset.kind)
     rows = runner.compare(_strategies(workload), [args.partitions])
     print(format_table(rows, f"{runner.dataset.name} / {workload} / {args.partitions} partitions"))
+    if args.trace:
+        count = obs.export_jsonl(args.trace)
+        chrome = f"{args.trace}.chrome.json"
+        obs.export_chrome(chrome)
+        print(f"wrote {count} spans to {args.trace} (+ {chrome})")
     return 0
 
 
@@ -155,6 +168,13 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_obs_report(args) -> int:
+    from repro.obs.report import report_from_file
+
+    print(report_from_file(args.trace, top_n=args.top))
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     from repro.bench.reproduce import reproduce_all
 
@@ -194,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="compare partitioning strategies")
     common(p)
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable observability and write a JSONL trace (plus a "
+        "Chrome trace_event file at PATH.chrome.json)",
+    )
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("frontier", help="sweep alpha and print the frontier")
@@ -208,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="print learned per-node time models")
     common(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("obs", help="observability: inspect trace files")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    rp = obs_sub.add_parser("report", help="summarise a JSONL trace file")
+    rp.add_argument("trace", help="path to a trace written by --trace / export_jsonl")
+    rp.add_argument("--top", type=int, default=10, help="slowest spans to list")
+    rp.set_defaults(func=cmd_obs_report)
 
     p = sub.add_parser(
         "reproduce", help="regenerate every paper artefact into a directory"

@@ -28,15 +28,28 @@ Segments live until :meth:`SharedPartitionStore.close` (idempotent,
 also registered via ``atexit`` so interpreter exit never leaks
 ``/dev/shm`` entries). Unlinking is safe while workers remain attached
 — the kernel refcounts the mapping.
+
+A ``cache_limit`` bounds the number of live segments: once more than
+``cache_limit`` are held, the least-recently-used segments (hits and
+fresh publishes both refresh recency) are unlinked and every cache
+entry pointing into them dropped, so an engine streaming many distinct
+jobs keeps a bounded shared-memory footprint instead of growing the
+digest/identity caches without limit.
 """
 
 from __future__ import annotations
 
 import atexit
 import hashlib
+import logging
 import pickle
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+
+import repro.obs as obs
+from repro.obs.log import get_logger, log_event
+
+_log = get_logger(__name__)
 
 __all__ = [
     "PartitionRef",
@@ -74,8 +87,11 @@ class DataPlaneStats:
     identity_hits: int = 0
     digest_hits: int = 0
     segments_created: int = 0
+    segments_evicted: int = 0
     shared_bytes: int = 0
+    evicted_bytes: int = 0
     ref_bytes_total: int = 0
+    bytes_referenced: int = 0
 
     @property
     def ref_bytes_per_task(self) -> float:
@@ -86,17 +102,68 @@ class DataPlaneStats:
 
 
 class SharedPartitionStore:
-    """Publishes partitions into shared memory, deduplicating repeats."""
+    """Publishes partitions into shared memory, deduplicating repeats.
 
-    def __init__(self) -> None:
+    ``cache_limit`` bounds the number of live segments; ``None`` keeps
+    every segment until :meth:`close` (the pre-limit behaviour).
+    """
+
+    def __init__(self, cache_limit: int | None = None) -> None:
+        if cache_limit is not None and cache_limit <= 0:
+            raise ValueError("cache_limit must be positive (or None for unbounded)")
+        self.cache_limit = cache_limit
         self.stats = DataPlaneStats()
-        self._segments: list[shared_memory.SharedMemory] = []
+        # name -> segment; insertion order doubles as LRU order (oldest
+        # first) — hits re-append via _touch().
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
         # id(obj) -> (obj, ref); the strong reference pins the object so
         # its id cannot be recycled while the cache entry lives.
         self._by_identity: dict[int, tuple[object, PartitionRef]] = {}
         self._by_digest: dict[bytes, PartitionRef] = {}
         self._closed = False
         atexit.register(self.close)
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._segments)
+
+    def _touch(self, name: str) -> None:
+        seg = self._segments.pop(name, None)
+        if seg is not None:
+            self._segments[name] = seg
+
+    def _evict_over_limit(self, pinned: set[str]) -> None:
+        """Unlink LRU segments beyond ``cache_limit``, dropping every
+        cache entry that points into them. Segments serving the current
+        call (``pinned``) are never evicted, so a single oversized
+        batch can exceed the limit transiently rather than lose refs it
+        is about to hand out."""
+        if self.cache_limit is None:
+            return
+        evictable = [n for n in self._segments if n not in pinned]
+        excess = len(self._segments) - self.cache_limit
+        for name in evictable[:max(0, excess)]:
+            seg = self._segments.pop(name)
+            self._by_digest = {
+                d: r for d, r in self._by_digest.items() if r.segment != name
+            }
+            self._by_identity = {
+                i: (o, r) for i, (o, r) in self._by_identity.items() if r.segment != name
+            }
+            self.stats.segments_evicted += 1
+            self.stats.evicted_bytes += seg.size
+            log_event(
+                _log, logging.DEBUG, "dataplane.segment.evicted",
+                segment=name, bytes=seg.size, live=len(self._segments),
+            )
+            try:
+                seg.close()
+                seg.unlink()
+            except (OSError, FileNotFoundError) as exc:
+                log_event(
+                    _log, logging.DEBUG, "dataplane.segment.evict_failed",
+                    segment=name, error=type(exc).__name__,
+                )
 
     # -- publishing ---------------------------------------------------------
 
@@ -107,11 +174,13 @@ class SharedPartitionStore:
             raise RuntimeError("store is closed")
         refs: list[PartitionRef | None] = [None] * len(partitions)
         misses: list[tuple[int, object, bytes, bytes, list[memoryview]]] = []
+        before = DataPlaneStats(**vars(self.stats)) if obs.enabled() else None
         for i, part in enumerate(partitions):
             cached = self._by_identity.get(id(part))
             if cached is not None and cached[0] is part:
                 self.stats.identity_hits += 1
                 refs[i] = cached[1]
+                self._touch(cached[1].segment)
                 continue
             frame, buffers = _serialize(part)
             self.stats.serializations += 1
@@ -121,6 +190,7 @@ class SharedPartitionStore:
                 self.stats.digest_hits += 1
                 self._by_identity[id(part)] = (part, ref)
                 refs[i] = ref
+                self._touch(ref.segment)
                 continue
             misses.append((i, part, digest, frame, buffers))
 
@@ -130,7 +200,7 @@ class SharedPartitionStore:
                 for _, _, _, frame, bufs in misses
             )
             seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
-            self._segments.append(seg)
+            self._segments[seg.name] = seg
             self.stats.segments_created += 1
             self.stats.shared_bytes += total
             cursor = 0
@@ -160,7 +230,38 @@ class SharedPartitionStore:
         self.stats.ref_bytes_total += sum(
             len(pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL)) for r in out
         )
+        self.stats.bytes_referenced += sum(r.total_bytes for r in out)
+        self._evict_over_limit(pinned={r.segment for r in out})
+        if before is not None:
+            self._record_metrics(before)
         return out
+
+    def _record_metrics(self, before: DataPlaneStats) -> None:
+        """Bridge this call's stat deltas into the obs metrics registry
+        (bytes copied into segments vs bytes merely referenced, cache
+        hit/miss counts, segment churn)."""
+        metrics = obs.get_metrics()
+        after = self.stats
+        deltas = {
+            "repro_dataplane_refs_total": after.refs_issued - before.refs_issued,
+            "repro_dataplane_serializations_total": after.serializations
+            - before.serializations,
+            "repro_dataplane_identity_hits_total": after.identity_hits
+            - before.identity_hits,
+            "repro_dataplane_digest_hits_total": after.digest_hits - before.digest_hits,
+            "repro_dataplane_segments_created_total": after.segments_created
+            - before.segments_created,
+            "repro_dataplane_segments_evicted_total": after.segments_evicted
+            - before.segments_evicted,
+            "repro_dataplane_bytes_copied_total": after.shared_bytes
+            - before.shared_bytes,
+            "repro_dataplane_bytes_referenced_total": after.bytes_referenced
+            - before.bytes_referenced,
+        }
+        for name, delta in deltas.items():
+            if delta:
+                metrics.counter(name).inc(delta)
+        metrics.gauge("repro_dataplane_live_segments").set(len(self._segments))
 
     def put(self, partition) -> PartitionRef:
         """Publish one partition (see :meth:`put_many`)."""
@@ -183,14 +284,18 @@ class SharedPartitionStore:
         if self._closed:
             return
         self._closed = True
-        segments, self._segments = self._segments, []
+        segments, self._segments = self._segments, {}
         self.clear_cache()
-        for seg in segments:
+        for name, seg in segments.items():
             try:
                 seg.close()
                 seg.unlink()
-            except (OSError, FileNotFoundError):
-                pass  # already gone (e.g. a second store raced us at exit)
+            except (OSError, FileNotFoundError) as exc:
+                # Already gone (e.g. a second store raced us at exit).
+                log_event(
+                    _log, logging.DEBUG, "dataplane.segment.close_failed",
+                    segment=name, error=type(exc).__name__,
+                )
 
     def __enter__(self) -> "SharedPartitionStore":
         return self

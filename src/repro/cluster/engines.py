@@ -21,6 +21,7 @@ node's busy interval and support multiple partitions queued on one node
 from __future__ import annotations
 
 import abc
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -30,6 +31,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.cluster.cluster import Cluster
 from repro.cluster.dataplane import (
     DataPlaneStats,
@@ -37,7 +39,12 @@ from repro.cluster.dataplane import (
     SharedPartitionStore,
     fetch_partition,
 )
+from repro.obs.energy import node_energy_breakdown, record_job_metrics, task_energy_attrs
+from repro.obs.log import get_logger, log_event
+from repro.obs.trace import Tracer
 from repro.workloads.base import Workload, WorkloadResult
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -76,11 +83,45 @@ class JobResult:
             busy[t.node_id] = busy.get(t.node_id, 0.0) + t.runtime_s
         return busy
 
+    def energy_breakdown(self) -> dict[int, dict[str, float]]:
+        """Per-node time/energy/dirty-energy telemetry.
+
+        Exact regrouping of the per-task fields: the per-node
+        ``energy_j``/``dirty_energy_j`` columns sum back to
+        ``total_energy_j``/``total_dirty_energy_j``.
+        """
+        return node_energy_breakdown(self)
+
     def partition_sizes_by_node(self) -> dict[int, float]:
         work: dict[int, float] = {}
         for t in self.tasks:
             work[t.node_id] = work.get(t.node_id, 0.0) + t.work_units
         return work
+
+
+def record_job_telemetry(job: JobResult, job_span, wall0: float, engine: str) -> None:
+    """Emit one ``task.execute`` span per task (on the job's node-local
+    timeline, anchored at the job's wall start) plus the per-node
+    latency/energy metrics. Sums of the span energy attrs reproduce
+    the job totals exactly — the spans carry the same floats the
+    :class:`JobResult` summed. Callers must check ``obs.enabled()``.
+
+    Shared by every engine that produces a :class:`JobResult`
+    (simulated, process-pool, fault-injecting, work-stealing).
+    """
+    tracer = obs.get_tracer()
+    for task in job.tasks:
+        tracer.emit(
+            "task.execute",
+            start_s=wall0 + task.start_s,
+            duration_s=task.runtime_s,
+            parent_id=job_span.span_id,
+            **task_energy_attrs(task),
+        )
+    job_span.set_attr("makespan_s", job.makespan_s)
+    job_span.set_attr("total_energy_j", job.total_energy_j)
+    job_span.set_attr("total_dirty_energy_j", job.total_dirty_energy_j)
+    record_job_metrics(obs.get_metrics(), job, engine=engine)
 
 
 def _validate_assignment(cluster: Cluster, partitions: Sequence, assignment: Sequence[int]) -> None:
@@ -147,41 +188,53 @@ class ExecutionEngine(abc.ABC):
             raise ValueError("start_offset_s must be non-negative")
         _validate_assignment(self.cluster, partitions, assignment)
 
-        executed = self._execute_partitions(workload, partitions, assignment)
+        wall0 = time.time()
+        with obs.span(
+            "engine.run_job",
+            engine=type(self).__name__,
+            partitions=len(partitions),
+            nodes=self.cluster.num_nodes,
+        ) as job_span:
+            executed = self._execute_partitions(workload, partitions, assignment)
 
-        tasks: list[TaskResult] = []
-        node_clock: dict[int, float] = {}
-        for pid, ((result, runtime), node_id) in enumerate(zip(executed, assignment)):
-            node = self.cluster[node_id]
-            start = node_clock.get(node_id, 0.0)
-            dirty = node.accountant.measured_dirty_energy(
-                runtime, start_s=start_offset_s + start
-            )
-            energy = node.accountant.power.energy_joules(runtime)
-            tasks.append(
-                TaskResult(
-                    partition_id=pid,
-                    node_id=node_id,
-                    start_s=start,
-                    runtime_s=runtime,
-                    work_units=result.work_units,
-                    dirty_energy_j=dirty,
-                    energy_j=energy,
-                    output=result.output,
-                    stats=result.stats,
+            tasks: list[TaskResult] = []
+            node_clock: dict[int, float] = {}
+            for pid, ((result, runtime), node_id) in enumerate(zip(executed, assignment)):
+                node = self.cluster[node_id]
+                start = node_clock.get(node_id, 0.0)
+                dirty = node.accountant.measured_dirty_energy(
+                    runtime, start_s=start_offset_s + start
                 )
-            )
-            node_clock[node_id] = start + runtime
+                energy = node.accountant.power.energy_joules(runtime)
+                tasks.append(
+                    TaskResult(
+                        partition_id=pid,
+                        node_id=node_id,
+                        start_s=start,
+                        runtime_s=runtime,
+                        work_units=result.work_units,
+                        dirty_energy_j=dirty,
+                        energy_j=energy,
+                        output=result.output,
+                        stats=result.stats,
+                    )
+                )
+                node_clock[node_id] = start + runtime
 
-        makespan = max(node_clock.values())
-        merged = workload.merge([WorkloadResult(t.work_units, t.output, t.stats) for t in tasks])
-        return JobResult(
-            tasks=tasks,
-            makespan_s=makespan,
-            total_dirty_energy_j=sum(t.dirty_energy_j for t in tasks),
-            total_energy_j=sum(t.energy_j for t in tasks),
-            merged_output=merged,
-        )
+            makespan = max(node_clock.values())
+            merged = workload.merge(
+                [WorkloadResult(t.work_units, t.output, t.stats) for t in tasks]
+            )
+            job = JobResult(
+                tasks=tasks,
+                makespan_s=makespan,
+                total_dirty_energy_j=sum(t.dirty_energy_j for t in tasks),
+                total_energy_j=sum(t.energy_j for t in tasks),
+                merged_output=merged,
+            )
+            if obs.enabled():
+                record_job_telemetry(job, job_span, wall0, type(self).__name__)
+            return job
 
 
 class SimulatedEngine(ExecutionEngine):
@@ -219,22 +272,48 @@ class SimulatedEngine(ExecutionEngine):
         ]
 
 
-def _pool_task(args: tuple[Workload, Sequence[Any]]) -> tuple[WorkloadResult, float]:
-    workload, records = args
+def _pool_task(
+    args: tuple[Workload, Sequence[Any], bool]
+) -> tuple[WorkloadResult, float, tuple]:
+    workload, records, trace = args
+    tracer = Tracer() if trace else None
+    span = tracer.span("worker.run", items=len(records), shm=False) if tracer is not None else None
     t0 = time.perf_counter()
-    result = workload.run(records)
-    return result, time.perf_counter() - t0
+    if span is not None:
+        with span:
+            result = workload.run(records)
+    else:
+        result = workload.run(records)
+    wall = time.perf_counter() - t0
+    # Worker spans ship back through the normal task return path; the
+    # parent re-parents them under the span that launched the job.
+    return result, wall, tuple(tracer.finished_spans()) if tracer is not None else ()
 
 
-def _pool_task_shm(args: tuple[Workload, PartitionRef]) -> tuple[WorkloadResult, float]:
-    workload, ref = args
+def _pool_task_shm(
+    args: tuple[Workload, PartitionRef, bool]
+) -> tuple[WorkloadResult, float, tuple]:
+    workload, ref, trace = args
+    tracer = Tracer() if trace else None
     # Fetch outside the timer: with the eager path the partition was
     # unpickled by the executor before _pool_task started, so measured
     # wall time covers only workload.run either way.
-    records = fetch_partition(ref)
+    if tracer is not None:
+        with tracer.span(
+            "worker.fetch", segment=ref.segment, bytes=ref.total_bytes
+        ):
+            records = fetch_partition(ref)
+    else:
+        records = fetch_partition(ref)
+    span = tracer.span("worker.run", items=len(records), shm=True) if tracer is not None else None
     t0 = time.perf_counter()
-    result = workload.run(records)
-    return result, time.perf_counter() - t0
+    if span is not None:
+        with span:
+            result = workload.run(records)
+    else:
+        result = workload.run(records)
+    wall = time.perf_counter() - t0
+    return result, wall, tuple(tracer.finished_spans()) if tracer is not None else ()
 
 
 class ProcessPoolEngine(ExecutionEngine):
@@ -264,7 +343,11 @@ class ProcessPoolEngine(ExecutionEngine):
     ``run_job``/``profile`` calls over the same partitions never
     re-pickle the data. :meth:`shutdown` unlinks the segments. Set the
     flag to ``False`` to pickle partitions into every task tuple (the
-    pre-data-plane behaviour).
+    pre-data-plane behaviour). ``cache_limit`` bounds the store's
+    segment cache: least-recently-used segments are unlinked once more
+    than ``cache_limit`` are live, so long-running engines streaming
+    many distinct jobs keep a bounded ``/dev/shm`` footprint (``None``
+    = unbounded, the pre-limit behaviour).
     """
 
     def __init__(
@@ -272,10 +355,14 @@ class ProcessPoolEngine(ExecutionEngine):
         cluster: Cluster,
         max_workers: int | None = None,
         use_shared_memory: bool = True,
+        cache_limit: int | None = 64,
     ):
         super().__init__(cluster)
         self.max_workers = max_workers
         self.use_shared_memory = use_shared_memory
+        if cache_limit is not None and cache_limit <= 0:
+            raise ValueError("cache_limit must be positive (or None for unbounded)")
+        self.cache_limit = cache_limit
         self._pool: ProcessPoolExecutor | None = None
         self._store: SharedPartitionStore | None = None
         self._pools_created = 0
@@ -293,11 +380,17 @@ class ProcessPoolEngine(ExecutionEngine):
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
             self._pools_created += 1
+            log_event(
+                _log, logging.DEBUG, "engine.pool.created",
+                total=self._pools_created, max_workers=self.max_workers,
+            )
+            if obs.enabled():
+                obs.get_metrics().counter("repro_pool_creations_total").inc()
         return self._pool
 
     def _ensure_store(self) -> SharedPartitionStore:
         if self._store is None or self._store.closed:
-            self._store = SharedPartitionStore()
+            self._store = SharedPartitionStore(cache_limit=self.cache_limit)
         return self._store
 
     @property
@@ -315,6 +408,11 @@ class ProcessPoolEngine(ExecutionEngine):
         # a re-entrant call) can never double-release.
         pool, self._pool = getattr(self, "_pool", None), None
         store, self._store = getattr(self, "_store", None), None
+        if pool is not None or store is not None:
+            log_event(
+                _log, logging.DEBUG, "engine.shutdown",
+                wait=wait, had_pool=pool is not None, had_store=store is not None,
+            )
         try:
             if pool is not None:
                 pool.shutdown(wait=wait)
@@ -331,11 +429,18 @@ class ProcessPoolEngine(ExecutionEngine):
     def __del__(self) -> None:
         # Interpreter teardown may have already dismantled the modules
         # shutdown() needs (ImportError/TypeError/AttributeError from
-        # half-dead internals); a dying engine must stay silent.
+        # half-dead internals); a dying engine must not raise — but it
+        # leaves a debug record behind when logging still works.
         try:
             self.shutdown(wait=False)
-        except BaseException:
-            pass
+        except BaseException as exc:
+            try:
+                log_event(
+                    _log, logging.DEBUG, "engine.del.shutdown_failed",
+                    error=type(exc).__name__,
+                )
+            except BaseException:
+                pass  # logging itself is gone this deep into teardown
 
     def _map_tasks(
         self, workload: Workload, partitions: Sequence[Sequence[Any]]
@@ -345,32 +450,48 @@ class ProcessPoolEngine(ExecutionEngine):
         # Hand each worker a few tasks per round-trip: one pickle per
         # chunk instead of one per partition.
         chunksize = max(1, len(partitions) // (4 * workers))
+        # The tracing flag rides in the task tuple, so toggling obs
+        # needs no pool restart (workers may predate enable()).
+        trace = obs.enabled()
         # Workers must see a real list either way; keeping list inputs
         # un-copied lets the store's identity cache recognise repeats.
         parts = [p if isinstance(p, list) else list(p) for p in partitions]
         if self.use_shared_memory:
             try:
                 refs = self._ensure_store().put_many(parts)
-            except OSError:
+            except OSError as exc:
                 # No usable shared memory on this host (e.g. /dev/shm
                 # missing): fall back to eager pickling for good.
+                log_event(
+                    _log, logging.DEBUG, "engine.dataplane.fallback",
+                    error=type(exc).__name__, detail=str(exc),
+                )
                 self.use_shared_memory = False
             else:
                 return self._run_map(
-                    pool, _pool_task_shm, [(workload, r) for r in refs], chunksize
+                    pool, _pool_task_shm, [(workload, r, trace) for r in refs], chunksize
                 )
         return self._run_map(
-            pool, _pool_task, [(workload, p) for p in parts], chunksize
+            pool, _pool_task, [(workload, p, trace) for p in parts], chunksize
         )
 
     def _run_map(self, pool, fn, tasks, chunksize):
         try:
-            return list(pool.map(fn, tasks, chunksize=chunksize))
+            raw = list(pool.map(fn, tasks, chunksize=chunksize))
         except BrokenProcessPool:
             # A dead worker poisons the whole executor; discard it so
             # the next job starts clean, then surface the failure.
+            log_event(_log, logging.DEBUG, "engine.pool.broken", tasks=len(tasks))
             self.shutdown(wait=False)
             raise
+        out = []
+        tracer = obs.get_tracer() if obs.enabled() else None
+        parent = tracer.current_span_id() if tracer is not None else None
+        for result, wall, worker_spans in raw:
+            if tracer is not None and worker_spans:
+                tracer.adopt(worker_spans, parent_id=parent)
+            out.append((result, wall))
+        return out
 
     def _execute_partitions(self, workload, partitions, assignment):
         raw = self._map_tasks(workload, partitions)

@@ -13,11 +13,13 @@ re-running the lost partitions — no global restart.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+import repro.obs as obs
 from repro.cluster.cluster import Cluster
-from repro.cluster.engines import JobResult, TaskResult
+from repro.cluster.engines import JobResult, TaskResult, record_job_telemetry
 from repro.workloads.base import Workload, WorkloadResult
 
 
@@ -72,6 +74,42 @@ class FaultInjectingEngine:
         if len(assignment) != len(partitions):
             raise ValueError("one node assignment required per partition")
 
+        wall0 = time.time()
+        job_span = obs.span(
+            "engine.run_job",
+            engine=type(self).__name__,
+            partitions=len(partitions),
+            nodes=p,
+            failures=len(self.fail_at),
+        )
+        with job_span:
+            job = self._run_job_impl(workload, partitions, assignment, p, wall0, job_span)
+        return job
+
+    def _inject_fault(self, wall0: float, node_id: int, pid: int, lost_at: float) -> None:
+        """Telemetry for one lost partition (point event on the
+        simulated timeline plus the ``fault.injected`` counter)."""
+        if not obs.enabled():
+            return
+        obs.get_tracer().emit(
+            "fault.injected",
+            start_s=wall0 + lost_at,
+            duration_s=0.0,
+            node_id=node_id,
+            partition_id=pid,
+            lost_at_s=lost_at,
+        )
+        obs.get_metrics().counter("repro_fault_injected_total", node=str(node_id)).inc()
+
+    def _run_job_impl(
+        self,
+        workload: Workload,
+        partitions: Sequence[Sequence[Any]],
+        assignment: Sequence[int],
+        p: int,
+        wall0: float,
+        job_span,
+    ) -> JobResult:
         results: list[WorkloadResult] = [workload.run(list(part)) for part in partitions]
 
         clock = {node: 0.0 for node in range(p)}
@@ -102,6 +140,7 @@ class FaultInjectingEngine:
             start = clock[node_id]
             if fail_time is not None and start >= fail_time:
                 orphans.append((pid, fail_time))
+                self._inject_fault(wall0, node_id, pid, fail_time)
                 continue
             runtime = self._runtime_on(node_id, results[pid].work_units)
             if fail_time is not None and start + runtime > fail_time:
@@ -109,6 +148,7 @@ class FaultInjectingEngine:
                 charge(node_id, pid, start, fail_time - start, results[pid], wasted=True)
                 clock[node_id] = fail_time
                 orphans.append((pid, fail_time))
+                self._inject_fault(wall0, node_id, pid, fail_time)
                 continue
             charge(node_id, pid, start, runtime, results[pid], wasted=False)
             clock[node_id] = start + runtime
@@ -127,6 +167,18 @@ class FaultInjectingEngine:
             runtime = self._runtime_on(best, results[pid].work_units)
             charge(best, pid, start, runtime, results[pid], wasted=False)
             clock[best] = start + runtime
+            if obs.enabled():
+                obs.get_tracer().emit(
+                    "fault.retried",
+                    start_s=wall0 + start,
+                    duration_s=runtime,
+                    partition_id=pid,
+                    node_id=best,
+                    detection_latency_s=self.detection_latency_s,
+                )
+                obs.get_metrics().counter(
+                    "repro_fault_retried_total", node=str(best)
+                ).inc()
 
         makespan = max(
             (t.end_s for t in tasks), default=0.0
@@ -138,13 +190,21 @@ class FaultInjectingEngine:
                 if not t.stats.get("wasted")
             ]
         )
-        return JobResult(
+        job = JobResult(
             tasks=tasks,
             makespan_s=makespan,
             total_dirty_energy_j=sum(t.dirty_energy_j for t in tasks),
             total_energy_j=sum(t.energy_j for t in tasks),
             merged_output=merged,
         )
+        if obs.enabled():
+            record_job_telemetry(job, job_span, wall0, type(self).__name__)
+            wasted = self.wasted_energy_j(job)
+            if wasted:
+                obs.get_metrics().counter(
+                    "repro_fault_wasted_energy_joules_total"
+                ).inc(wasted)
+        return job
 
     @staticmethod
     def wasted_energy_j(job: JobResult) -> float:

@@ -20,11 +20,13 @@ candidate-inflation effect is measured, not assumed.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+import repro.obs as obs
 from repro.cluster.cluster import Cluster
-from repro.cluster.engines import JobResult, TaskResult
+from repro.cluster.engines import JobResult, TaskResult, record_job_telemetry
 from repro.workloads.base import Workload, WorkloadResult
 
 
@@ -103,6 +105,25 @@ class WorkStealingScheduler:
             queues[node].extend(self._chunks(part))
 
         self.events = []
+        wall0 = time.time()
+        job_span = obs.span(
+            "engine.run_job",
+            engine=type(self).__name__,
+            partitions=len(partitions),
+            nodes=p,
+            chunk_size=self.chunk_size,
+        )
+        with job_span:
+            return self._run_job_impl(workload, queues, p, wall0, job_span)
+
+    def _run_job_impl(
+        self,
+        workload: Workload,
+        queues: list[list[list[Any]]],
+        p: int,
+        wall0: float,
+        job_span,
+    ) -> JobResult:
         # Event-driven greedy simulation: a heap of (ready_time, node).
         clock = [0.0] * p
         heap = [(0.0, node) for node in range(p)]
@@ -129,6 +150,22 @@ class WorkStealingScheduler:
                 self.events.append(
                     StealEvent(time_s=now, thief=node, victim=victim, chunk_items=len(chunk))
                 )
+                if obs.enabled():
+                    obs.get_tracer().emit(
+                        "worksteal.steal",
+                        start_s=wall0 + now,
+                        duration_s=overhead,
+                        thief=node,
+                        victim=victim,
+                        chunk_items=len(chunk),
+                    )
+                    metrics = obs.get_metrics()
+                    metrics.counter(
+                        "repro_worksteal_steals_total", thief=str(node)
+                    ).inc()
+                    metrics.counter("repro_worksteal_items_stolen_total").inc(
+                        len(chunk)
+                    )
             result = workload.run(chunk)
             node_obj = self.cluster[node]
             speed = node_obj.speed_factor
@@ -160,13 +197,17 @@ class WorkStealingScheduler:
 
         makespan = max(clock) if tasks else 0.0
         merged = workload.merge(partials)
-        return JobResult(
+        job = JobResult(
             tasks=tasks,
             makespan_s=makespan,
             total_dirty_energy_j=sum(t.dirty_energy_j for t in tasks),
             total_energy_j=sum(t.energy_j for t in tasks),
             merged_output=merged,
         )
+        if obs.enabled():
+            record_job_telemetry(job, job_span, wall0, type(self).__name__)
+            job_span.set_attr("steals", len(self.events))
+        return job
 
     @property
     def num_steals(self) -> int:

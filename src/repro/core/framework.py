@@ -26,6 +26,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.cluster.engines import ExecutionEngine, JobResult
 from repro.core.heterogeneity import ProfilingReport, ProgressiveSampler
 from repro.core.optimizer import ParetoOptimizer, PartitionPlan
@@ -143,14 +144,17 @@ class ParetoPartitioner:
     def prepare(self, items: Sequence[Any], workload: Workload) -> PreparedInput:
         """Stratify, profile and build the optimizer (the one-time cost)."""
         items = list(items)
-        stratification = self.stratifier().stratify(items)
-        sampler_kwargs = {}
-        if self.sample_fractions is not None:
-            sampler_kwargs["fractions"] = tuple(self.sample_fractions)
-        sampler = ProgressiveSampler(engine=self.engine, seed=self.seed, **sampler_kwargs)
-        profiling = sampler.profile(workload, items, stratification)
-        dirty = self.engine.cluster.dirty_power_coefficients(self.energy_window_s)
-        optimizer = ParetoOptimizer(models=profiling.models, dirty_coeffs=dirty)
+        with obs.span("pipeline.prepare", items=len(items), kind=self.kind):
+            stratification = self.stratifier().stratify(items)
+            sampler_kwargs = {}
+            if self.sample_fractions is not None:
+                sampler_kwargs["fractions"] = tuple(self.sample_fractions)
+            sampler = ProgressiveSampler(
+                engine=self.engine, seed=self.seed, **sampler_kwargs
+            )
+            profiling = sampler.profile(workload, items, stratification)
+            dirty = self.engine.cluster.dirty_power_coefficients(self.energy_window_s)
+            optimizer = ParetoOptimizer(models=profiling.models, dirty_coeffs=dirty)
         return PreparedInput(
             items=items,
             stratification=stratification,
@@ -162,15 +166,21 @@ class ParetoPartitioner:
     def plan(self, prepared: PreparedInput, strategy: Strategy) -> PartitionPlan:
         """Partition sizes for a strategy: LP when het-aware, else equal."""
         n = prepared.num_items
-        if strategy.alpha is None:
-            return prepared.optimizer.equal_split_plan(n)
-        min_items = self.min_partition_items
-        if min_items is None:
-            # Auto: never plan a partition smaller than the smallest
-            # sample the time model was fitted on.
-            min_items = min(prepared.profiling.sample_sizes)
-        min_items = min(min_items, n // prepared.optimizer.num_partitions)
-        return prepared.optimizer.solve(n, strategy.alpha, min_items=min_items)
+        with obs.span(
+            "stage.optimize", items=n, strategy=strategy.name, alpha=strategy.alpha
+        ) as sp:
+            if strategy.alpha is None:
+                plan = prepared.optimizer.equal_split_plan(n)
+            else:
+                min_items = self.min_partition_items
+                if min_items is None:
+                    # Auto: never plan a partition smaller than the smallest
+                    # sample the time model was fitted on.
+                    min_items = min(prepared.profiling.sample_sizes)
+                min_items = min(min_items, n // prepared.optimizer.num_partitions)
+                plan = prepared.optimizer.solve(n, strategy.alpha, min_items=min_items)
+            sp.set_attr("sizes", [int(s) for s in plan.sizes])
+            return plan
 
     def place(
         self,
@@ -275,12 +285,17 @@ class ParetoPartitioner:
         prepared: PreparedInput | None = None,
     ) -> RunReport:
         """Full pipeline: prepare (or reuse), plan, place, stage, run."""
-        if prepared is None:
-            prepared = self.prepare(items, workload)
-        plan = self.plan(prepared, strategy)
-        indices = self.place(prepared, strategy, plan)
-        partitions, round_trips = self._materialize(prepared, indices)
-        job = self.engine.run_job(workload, partitions)
+        with obs.span("pipeline.execute", strategy=strategy.name):
+            if prepared is None:
+                prepared = self.prepare(items, workload)
+            plan = self.plan(prepared, strategy)
+            with obs.span(
+                "stage.partition", placement=strategy.placement, via_kv=self.stage_via_kv
+            ):
+                indices = self.place(prepared, strategy, plan)
+                partitions, round_trips = self._materialize(prepared, indices)
+            with obs.span("stage.execute", partitions=len(partitions)):
+                job = self.engine.run_job(workload, partitions)
         return RunReport(strategy=strategy, plan=plan, job=job, kv_round_trips=round_trips)
 
     def execute_fpm(
@@ -303,31 +318,41 @@ class ParetoPartitioner:
             raise TypeError("execute_fpm requires a local-mining workload")
         if prepared is None:
             prepared = self.prepare(items, workload)
-        plan = self.plan(prepared, strategy)
-        indices = self.place(prepared, strategy, plan)
-        partitions, round_trips = self._materialize(prepared, indices)
+        with obs.span("pipeline.execute_fpm", strategy=strategy.name):
+            plan = self.plan(prepared, strategy)
+            with obs.span(
+                "stage.partition", placement=strategy.placement, via_kv=self.stage_via_kv
+            ):
+                indices = self.place(prepared, strategy, plan)
+                partitions, round_trips = self._materialize(prepared, indices)
 
-        local_job = self.engine.run_job(workload, partitions)
-        candidates = local_job.merged_output
+            with obs.span(
+                "stage.execute", partitions=len(partitions), phase="local-mine"
+            ):
+                local_job = self.engine.run_job(workload, partitions)
+            candidates = local_job.merged_output
 
-        if isinstance(workload, TreeMiningWorkload):
-            from repro.workloads.fpm.treemining import trees_to_pivot_sets
+            if isinstance(workload, TreeMiningWorkload):
+                from repro.workloads.fpm.treemining import trees_to_pivot_sets
 
-            count_parts = [trees_to_pivot_sets(p)[0] for p in partitions]
-        else:
-            count_parts = partitions
-        total = sum(len(p) for p in partitions)
-        counter = CandidateCountWorkload(
-            candidates=sorted(candidates),
-            min_support=workload.min_support,
-            total_transactions=total,
-        )
-        # Phase 2 runs after the phase-1 barrier: bill its energy against
-        # the later window of each node's green trace.
-        count_job = self.engine.run_job(
-            counter, count_parts, start_offset_s=local_job.makespan_s
-        )
-        frequent = count_job.merged_output
+                count_parts = [trees_to_pivot_sets(p)[0] for p in partitions]
+            else:
+                count_parts = partitions
+            total = sum(len(p) for p in partitions)
+            counter = CandidateCountWorkload(
+                candidates=sorted(candidates),
+                min_support=workload.min_support,
+                total_transactions=total,
+            )
+            # Phase 2 runs after the phase-1 barrier: bill its energy against
+            # the later window of each node's green trace.
+            with obs.span(
+                "stage.execute", partitions=len(count_parts), phase="candidate-count"
+            ):
+                count_job = self.engine.run_job(
+                    counter, count_parts, start_offset_s=local_job.makespan_s
+                )
+            frequent = count_job.merged_output
 
         combined = JobResult(
             tasks=local_job.tasks + count_job.tasks,

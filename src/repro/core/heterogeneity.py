@@ -23,6 +23,7 @@ from typing import Any, Protocol, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.cluster.engines import ExecutionEngine
 from repro.stratify.stratifier import Stratification
 from repro.workloads.base import Workload
@@ -210,6 +211,20 @@ class ProgressiveSampler:
         n_items = len(items)
         if n_items == 0:
             raise ValueError("cannot profile an empty dataset")
+        with obs.span("stage.profile", items=n_items) as profile_span:
+            report = self._profile(workload, items, stratification, rng, n_items)
+            profile_span.set_attr("sample_sizes", list(report.sample_sizes))
+            profile_span.set_attr("nodes", report.num_nodes)
+            return report
+
+    def _profile(
+        self,
+        workload: Workload,
+        items: Sequence[Any],
+        stratification: Stratification,
+        rng: np.random.Generator,
+        n_items: int,
+    ) -> ProfilingReport:
         num_nodes = self.engine.cluster.num_nodes
         fractions = (
             auto_fractions(n_items, self.min_sample)

@@ -1,0 +1,116 @@
+"""Energy telemetry: per-node time/energy breakdowns from job results.
+
+Bridges :mod:`repro.energy.accounting` into the observability plane
+without importing any cluster types — everything here duck-types on
+the ``TaskResult`` fields (``node_id``, ``runtime_s``, ``energy_j``,
+``dirty_energy_j``), so it works on :class:`~repro.cluster.engines.JobResult`
+from any engine (simulated, process-pool, fault-injecting,
+work-stealing).
+
+The invariant the acceptance tests pin: summing the per-node (or
+per-span) attributes reproduces the job totals exactly — the breakdown
+is an exact regrouping of the same floats, never a re-measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "node_energy_breakdown",
+    "task_energy_attrs",
+    "energy_split",
+    "record_job_metrics",
+]
+
+
+def task_energy_attrs(task: Any) -> dict[str, Any]:
+    """Span attributes for one executed task, energy fields included."""
+    energy = float(task.energy_j)
+    dirty = float(task.dirty_energy_j)
+    return {
+        "partition_id": int(task.partition_id),
+        "node_id": int(task.node_id),
+        "work_units": float(task.work_units),
+        "runtime_s": float(task.runtime_s),
+        "energy_j": energy,
+        "dirty_energy_j": dirty,
+        "green_energy_j": energy - dirty,
+        "green_fraction": (energy - dirty) / energy if energy > 0 else 1.0,
+    }
+
+
+def node_energy_breakdown(job: Any) -> dict[int, dict[str, float]]:
+    """Per-node ``{busy_s, energy_j, dirty_energy_j, green_energy_j,
+    green_fraction, tasks}`` aggregated over ``job.tasks``.
+
+    Sums are exact regroupings of the task fields, so
+    ``sum(row["energy_j"]) == job.total_energy_j`` (and likewise for
+    dirty energy) up to float addition order.
+    """
+    rows: dict[int, dict[str, float]] = {}
+    for task in job.tasks:
+        row = rows.setdefault(
+            int(task.node_id),
+            {
+                "busy_s": 0.0,
+                "energy_j": 0.0,
+                "dirty_energy_j": 0.0,
+                "green_energy_j": 0.0,
+                "tasks": 0,
+            },
+        )
+        row["busy_s"] += float(task.runtime_s)
+        row["energy_j"] += float(task.energy_j)
+        row["dirty_energy_j"] += float(task.dirty_energy_j)
+        row["green_energy_j"] += float(task.energy_j) - float(task.dirty_energy_j)
+        row["tasks"] += 1
+    for row in rows.values():
+        row["green_fraction"] = (
+            row["green_energy_j"] / row["energy_j"] if row["energy_j"] > 0 else 1.0
+        )
+    return dict(sorted(rows.items()))
+
+
+def energy_split(spans: Iterable[dict]) -> dict[str, float]:
+    """Total/dirty/green energy summed over task spans (from a trace).
+
+    Only spans carrying an ``energy_j`` attribute contribute, so stage
+    and worker spans pass through untouched.
+    """
+    total = dirty = 0.0
+    tasks = 0
+    for span in spans:
+        attrs = span.get("attrs", {})
+        if "energy_j" not in attrs:
+            continue
+        total += float(attrs["energy_j"])
+        dirty += float(attrs.get("dirty_energy_j", 0.0))
+        tasks += 1
+    return {
+        "task_spans": tasks,
+        "energy_j": total,
+        "dirty_energy_j": dirty,
+        "green_energy_j": total - dirty,
+        "green_fraction": (total - dirty) / total if total > 0 else 1.0,
+    }
+
+
+def record_job_metrics(metrics: Any, job: Any, engine: str) -> None:
+    """Feed one job's per-node energy/latency numbers into a registry."""
+    metrics.counter("repro_jobs_total", engine=engine).inc()
+    for task in job.tasks:
+        node = str(int(task.node_id))
+        metrics.counter("repro_tasks_total", node=node).inc()
+        metrics.histogram("repro_task_runtime_seconds", node=node).observe(
+            float(task.runtime_s)
+        )
+        metrics.histogram("repro_task_queue_wait_seconds", node=node).observe(
+            float(task.start_s)
+        )
+        metrics.counter("repro_energy_joules_total", node=node).inc(
+            float(task.energy_j)
+        )
+        metrics.counter("repro_dirty_energy_joules_total", node=node).inc(
+            float(task.dirty_energy_j)
+        )

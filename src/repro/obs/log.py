@@ -1,0 +1,76 @@
+"""Structured logging under a single ``repro.*`` namespace.
+
+Thin layer over stdlib :mod:`logging`: every module gets its logger via
+:func:`get_logger`, events are emitted through :func:`log_event` as
+``event key=value ...`` lines, and the root ``repro`` logger carries a
+``NullHandler`` so the library stays silent unless the application (or
+:func:`configure`) installs a handler. This replaces the bare
+``except: pass`` paths that used to swallow shutdown/teardown failures
+— those now leave a debug-level record behind.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+#: Every logger in the library hangs off this namespace, so one line —
+#: ``logging.getLogger("repro").setLevel(logging.DEBUG)`` — turns on
+#: the whole library's diagnostics.
+ROOT_NAMESPACE = "repro"
+
+_root = logging.getLogger(ROOT_NAMESPACE)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger rooted under ``repro.`` (module ``__name__``s already are)."""
+    if name != ROOT_NAMESPACE and not name.startswith(ROOT_NAMESPACE + "."):
+        name = f"{ROOT_NAMESPACE}.{name}"
+    return logging.getLogger(name)
+
+
+def format_fields(fields: dict[str, Any]) -> str:
+    """Render ``key=value`` pairs, quoting values with spaces."""
+    parts = []
+    for key, value in fields.items():
+        text = repr(value) if isinstance(value, str) and " " in value else str(value)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit a structured ``event key=value ...`` record.
+
+    Formatting is deferred behind ``isEnabledFor`` so disabled levels
+    cost one integer comparison — safe on teardown paths.
+    """
+    if logger.isEnabledFor(level):
+        message = event if not fields else f"{event} {format_fields(fields)}"
+        logger.log(level, message)
+
+
+def configure(level: int = logging.INFO, stream: Any = None) -> logging.Logger:
+    """Attach a stderr (or ``stream``) handler to the ``repro`` root.
+
+    Convenience for scripts and the CLI; idempotent — an existing
+    stream handler is reused rather than duplicated.
+    """
+    root = logging.getLogger(ROOT_NAMESPACE)
+    root.setLevel(level)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setLevel(level)
+            return root
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+    )
+    root.addHandler(handler)
+    return root

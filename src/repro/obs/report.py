@@ -1,0 +1,165 @@
+"""Trace-file summaries backing the ``repro obs report`` command.
+
+Consumes the JSONL format written by :meth:`Tracer.export_jsonl` and
+renders the three views an engineer reads first:
+
+- per-stage latency (``stage.*`` spans, the five-stage pipeline),
+- per-node latency + energy split (``task.execute`` spans carry the
+  energy attributes the engines attach),
+- top-N slowest spans of any kind.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Any, Sequence
+
+from repro.obs.energy import energy_split
+from repro.obs.trace import read_spans, validate_jsonl
+
+__all__ = [
+    "stage_table",
+    "node_table",
+    "slowest_spans",
+    "render_report",
+    "report_from_file",
+]
+
+
+def _fmt_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def stage_table(spans: list[dict]) -> list[dict[str, Any]]:
+    """Aggregate ``stage.*`` spans: count, total and mean seconds."""
+    agg: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        if span["name"].startswith("stage."):
+            agg[span["name"]].append(float(span["duration_s"]))
+    return [
+        {
+            "stage": name,
+            "count": len(durs),
+            "total_s": sum(durs),
+            "mean_s": sum(durs) / len(durs),
+        }
+        for name, durs in sorted(agg.items(), key=lambda kv: -sum(kv[1]))
+    ]
+
+
+def node_table(spans: list[dict]) -> list[dict[str, Any]]:
+    """Per-node latency and energy from ``task.execute`` spans."""
+    agg: dict[int, dict[str, float]] = {}
+    for span in spans:
+        attrs = span.get("attrs", {})
+        if span["name"] != "task.execute" or "node_id" not in attrs:
+            continue
+        row = agg.setdefault(
+            int(attrs["node_id"]),
+            {"tasks": 0, "busy_s": 0.0, "energy_j": 0.0, "dirty_energy_j": 0.0},
+        )
+        row["tasks"] += 1
+        row["busy_s"] += float(attrs.get("runtime_s", span["duration_s"]))
+        row["energy_j"] += float(attrs.get("energy_j", 0.0))
+        row["dirty_energy_j"] += float(attrs.get("dirty_energy_j", 0.0))
+    out = []
+    for node_id, row in sorted(agg.items()):
+        green = row["energy_j"] - row["dirty_energy_j"]
+        out.append(
+            {
+                "node": node_id,
+                **row,
+                "green_energy_j": green,
+                "green_fraction": green / row["energy_j"] if row["energy_j"] else 1.0,
+            }
+        )
+    return out
+
+
+def slowest_spans(spans: list[dict], top_n: int = 10) -> list[dict]:
+    return sorted(spans, key=lambda s: -float(s["duration_s"]))[:top_n]
+
+
+def render_report(spans: list[dict], top_n: int = 10, title: str = "") -> str:
+    """The full ASCII report over one trace's spans."""
+    sections: list[str] = []
+    if title:
+        sections.append(title)
+    pids = sorted({s["pid"] for s in spans})
+    sections.append(
+        f"{len(spans)} spans from {len(pids)} process(es); "
+        f"{sum(1 for s in spans if s['name'] == 'task.execute')} task spans"
+    )
+
+    stages = stage_table(spans)
+    if stages:
+        sections.append("\n== pipeline stages ==")
+        sections.append(
+            _fmt_table(
+                ("stage", "count", "total_s", "mean_s"),
+                [
+                    (r["stage"], r["count"], f"{r['total_s']:.4f}", f"{r['mean_s']:.4f}")
+                    for r in stages
+                ],
+            )
+        )
+
+    nodes = node_table(spans)
+    if nodes:
+        sections.append("\n== per-node tasks & energy ==")
+        sections.append(
+            _fmt_table(
+                (
+                    "node", "tasks", "busy_s", "energy_j",
+                    "dirty_j", "green_j", "green_frac",
+                ),
+                [
+                    (
+                        r["node"],
+                        r["tasks"],
+                        f"{r['busy_s']:.3f}",
+                        f"{r['energy_j']:.1f}",
+                        f"{r['dirty_energy_j']:.1f}",
+                        f"{r['green_energy_j']:.1f}",
+                        f"{r['green_fraction']:.3f}",
+                    )
+                    for r in nodes
+                ],
+            )
+        )
+        split = energy_split(spans)
+        sections.append(
+            f"energy split: {split['energy_j']:.1f} J total = "
+            f"{split['dirty_energy_j']:.1f} J dirty + "
+            f"{split['green_energy_j']:.1f} J green "
+            f"(green fraction {split['green_fraction']:.3f})"
+        )
+
+    top = slowest_spans(spans, top_n)
+    if top:
+        sections.append(f"\n== top {len(top)} slowest spans ==")
+        sections.append(
+            _fmt_table(
+                ("duration_s", "name", "pid", "span_id"),
+                [
+                    (f"{s['duration_s']:.4f}", s["name"], s["pid"], s["span_id"])
+                    for s in top
+                ],
+            )
+        )
+    return "\n".join(sections)
+
+
+def report_from_file(path: str | os.PathLike, top_n: int = 10) -> str:
+    """Validate and summarise one JSONL trace file."""
+    validate_jsonl(path)
+    _meta, spans = read_spans(path)
+    return render_report(spans, top_n=top_n, title=f"trace: {path}")

@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.stratify.kmodes import CompositeKModes, KModesResult
 from repro.stratify.minhash import MinHasher
 from repro.stratify.pivots import PivotExtractor
@@ -126,9 +127,12 @@ class Stratifier:
 
     def sketch(self, items: Sequence) -> np.ndarray:
         """Pivot-extract and sketch a dataset; ``(n, num_hashes)``."""
-        pivot_sets = self._extractor.extract_all(items)
-        hasher = MinHasher(num_hashes=self.num_hashes, seed=self.seed)
-        return hasher.sketch_all(pivot_sets)
+        with obs.span(
+            "stage.sketch", items=len(items), kind=self.kind, num_hashes=self.num_hashes
+        ):
+            pivot_sets = self._extractor.extract_all(items)
+            hasher = MinHasher(num_hashes=self.num_hashes, seed=self.seed)
+            return hasher.sketch_all(pivot_sets)
 
     def assign_new(
         self, stratification: Stratification, new_items: Sequence
@@ -171,28 +175,32 @@ class Stratifier:
         """
         if len(items) == 0:
             raise ValueError("cannot stratify an empty dataset")
-        if sketches is None:
-            sketches = self.sketch(items)
-        elif sketches.shape != (len(items), self.num_hashes):
-            raise ValueError(
-                f"sketches shape {sketches.shape} does not match "
-                f"({len(items)}, {self.num_hashes})"
+        with obs.span(
+            "stage.stratify", items=len(items), num_strata=self.num_strata
+        ) as sp:
+            if sketches is None:
+                sketches = self.sketch(items)
+            elif sketches.shape != (len(items), self.num_hashes):
+                raise ValueError(
+                    f"sketches shape {sketches.shape} does not match "
+                    f"({len(items)}, {self.num_hashes})"
+                )
+            kmodes = CompositeKModes(
+                num_clusters=self.num_strata,
+                top_l=self.top_l,
+                max_iter=self.max_iter,
+                seed=self.seed + 1,
             )
-        kmodes = CompositeKModes(
-            num_clusters=self.num_strata,
-            top_l=self.top_l,
-            max_iter=self.max_iter,
-            seed=self.seed + 1,
-        )
-        result = kmodes.fit(sketches)
-        labels = result.labels
-        strata = [
-            np.flatnonzero(labels == s)
-            for s in range(result.num_clusters)
-            if np.any(labels == s)
-        ]
-        # Re-label compactly so stratum ids are dense.
-        compact = np.empty(labels.size, dtype=np.int64)
-        for new_id, members in enumerate(strata):
-            compact[members] = new_id
-        return Stratification(labels=compact, strata=strata, kmodes=result)
+            result = kmodes.fit(sketches)
+            labels = result.labels
+            strata = [
+                np.flatnonzero(labels == s)
+                for s in range(result.num_clusters)
+                if np.any(labels == s)
+            ]
+            # Re-label compactly so stratum ids are dense.
+            compact = np.empty(labels.size, dtype=np.int64)
+            for new_id, members in enumerate(strata):
+                compact[members] = new_id
+            sp.set_attr("strata", len(strata))
+            return Stratification(labels=compact, strata=strata, kmodes=result)

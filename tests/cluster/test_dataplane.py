@@ -128,6 +128,79 @@ class TestLifecycle:
             store.put([1])
 
 
+class TestCacheLimit:
+    """Regression: the segment cache must stay bounded across many
+    distinct jobs (the LRU unlinks old segments and purges their
+    digest/identity entries)."""
+
+    def test_lru_evicts_oldest_segments(self):
+        with SharedPartitionStore(cache_limit=2) as store:
+            refs = [store.put([("job", i)] * 50) for i in range(5)]
+            assert store.live_segments <= 2
+            assert store.stats.segments_created == 5
+            assert store.stats.segments_evicted == 3
+            # Evicted segments are really unlinked...
+            for ref in refs[:3]:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=ref.segment, create=False)
+            # ...while the newest survivors stay fetchable.
+            assert fetch_partition(refs[4]) == [("job", 4)] * 50
+
+    def test_eviction_purges_cache_entries(self):
+        with SharedPartitionStore(cache_limit=1) as store:
+            part = [1, 2, 3]
+            store.put(part)
+            store.put([4] * 100)  # evicts the first segment
+            # Identity and digest entries into the dead segment are gone:
+            # republishing must serialize again rather than hand out a
+            # ref into unlinked memory.
+            ref = store.put(part)
+            assert store.stats.serializations == 3
+            assert fetch_partition(ref) == part
+
+    def test_hits_refresh_recency(self):
+        with SharedPartitionStore(cache_limit=2) as store:
+            hot = [0] * 50
+            r_hot = store.put(hot)
+            store.put([1] * 50)
+            store.put(hot)  # identity hit — hot segment becomes MRU
+            store.put([2] * 50)  # evicts the [1] segment, not hot's
+            assert fetch_partition(r_hot) == hot
+
+    def test_current_batch_is_pinned(self):
+        # One oversized batch may exceed the limit transiently; its own
+        # refs must never be evicted out from under the caller.
+        with SharedPartitionStore(cache_limit=1) as store:
+            refs = store.put_many([[i] * 30 for i in range(4)])
+            for i, ref in enumerate(refs):
+                assert fetch_partition(ref) == [i] * 30
+
+    def test_unbounded_by_default(self):
+        with SharedPartitionStore() as store:
+            for i in range(8):
+                store.put([i] * 10)
+            assert store.live_segments == 8
+            assert store.stats.segments_evicted == 0
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(ValueError):
+            SharedPartitionStore(cache_limit=0)
+        with pytest.raises(ValueError):
+            ProcessPoolEngine(paper_cluster(2, seed=0), cache_limit=-1)
+
+    def test_engine_bounds_segments_across_jobs(self):
+        engine = ProcessPoolEngine(
+            paper_cluster(2, seed=0), max_workers=2, cache_limit=3
+        )
+        with engine:
+            for i in range(8):
+                parts = [[i * 100 + j] * 40 for j in range(2)]
+                job = engine.run_job(SummingWorkload(), parts)
+                assert job.merged_output == sum(map(sum, parts))
+                assert engine._store.live_segments <= 3
+            assert engine.dataplane_stats.segments_evicted >= 5
+
+
 class TestEngineIntegration:
     @pytest.fixture(scope="class")
     def cluster(self):
@@ -157,7 +230,7 @@ class TestEngineIntegration:
     def test_shutdown_unlinks_and_next_job_rebuilds(self, cluster):
         engine = ProcessPoolEngine(cluster, max_workers=1)
         engine.run_job(SummingWorkload(), [[1, 2]])
-        seg = engine._store._segments[0].name
+        seg = next(iter(engine._store._segments))
         engine.shutdown()
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=seg, create=False)

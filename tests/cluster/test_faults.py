@@ -111,3 +111,87 @@ class TestValidation:
             FaultInjectingEngine(cluster, fail_at={0: -1.0})
         with pytest.raises(ValueError):
             FaultInjectingEngine(cluster, detection_latency_s=-1.0)
+
+
+class TestTelemetry:
+    """Observability coverage: wasted energy accounting, retry charging,
+    and the fault.injected / fault.retried spans + counters."""
+
+    @pytest.fixture(autouse=True)
+    def _obs(self):
+        import repro.obs as obs
+
+        obs.disable()
+        obs.reset()
+        obs.enable()
+        yield obs
+        obs.disable()
+        obs.reset()
+
+    def test_wasted_energy_matches_wasted_tasks(self, cluster):
+        engine = FaultInjectingEngine(cluster, fail_at={3: 1.0}, unit_rate=10.0)
+        job = engine.run_job(SumWorkload(), PARTS)
+        wasted_tasks = [t for t in job.tasks if t.stats.get("wasted")]
+        assert wasted_tasks
+        assert FaultInjectingEngine.wasted_energy_j(job) == pytest.approx(
+            sum(t.energy_j for t in wasted_tasks)
+        )
+        # Wasted runs still burn real joules inside the job totals.
+        assert job.total_energy_j >= sum(t.energy_j for t in wasted_tasks)
+
+    def test_retry_is_charged_to_the_recovery_node(self, cluster):
+        engine = FaultInjectingEngine(cluster, fail_at={3: 1.0}, unit_rate=10.0)
+        job = engine.run_job(SumWorkload(), PARTS)
+        retried = [
+            t for t in job.tasks if t.partition_id == 3 and not t.stats.get("wasted")
+        ]
+        assert len(retried) == 1
+        assert retried[0].energy_j > 0
+        assert retried[0].node_id != 3
+
+    def test_fault_spans_and_counters(self, cluster, _obs):
+        obs = _obs
+        engine = FaultInjectingEngine(cluster, fail_at={3: 1.0}, unit_rate=10.0)
+        job = engine.run_job(SumWorkload(), PARTS)
+        spans = obs.get_tracer().finished_spans()
+        names = [s["name"] for s in spans]
+
+        injected = [s for s in spans if s["name"] == "fault.injected"]
+        retried = [s for s in spans if s["name"] == "fault.retried"]
+        assert len(injected) == 1
+        assert injected[0]["attrs"]["node_id"] == 3
+        assert injected[0]["duration_s"] == 0.0
+        assert len(retried) == 1
+        assert retried[0]["attrs"]["partition_id"] == 3
+        assert retried[0]["attrs"]["node_id"] != 3
+
+        assert "engine.run_job" in names
+        assert names.count("task.execute") == len(job.tasks)
+
+        snap = obs.metrics_snapshot()
+        assert snap['repro_fault_injected_total{node="3"}']["value"] == 1
+        retried_total = sum(
+            v["value"]
+            for k, v in snap.items()
+            if k.startswith("repro_fault_retried_total")
+        )
+        assert retried_total == 1
+        assert snap["repro_fault_wasted_energy_joules_total"][
+            "value"
+        ] == pytest.approx(FaultInjectingEngine.wasted_energy_j(job))
+
+    def test_no_fault_spans_without_failures(self, cluster, _obs):
+        obs = _obs
+        engine = FaultInjectingEngine(cluster, fail_at={}, unit_rate=10.0)
+        engine.run_job(SumWorkload(), PARTS)
+        names = {s["name"] for s in obs.get_tracer().finished_spans()}
+        assert "fault.injected" not in names
+        assert "fault.retried" not in names
+
+    def test_disabled_obs_collects_nothing(self, cluster, _obs):
+        obs = _obs
+        obs.disable()
+        engine = FaultInjectingEngine(cluster, fail_at={3: 1.0}, unit_rate=10.0)
+        engine.run_job(SumWorkload(), PARTS)
+        assert obs.get_tracer().finished_spans() == []
+        assert obs.metrics_snapshot() == {}

@@ -1,0 +1,14 @@
+"""Shared obs-test hygiene: every test leaves the subsystem off/empty."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,58 @@
+"""Structured logging helpers."""
+
+import io
+import logging
+
+from repro.obs.log import ROOT_NAMESPACE, configure, format_fields, get_logger, log_event
+
+
+class TestGetLogger:
+    def test_prefixes_namespace(self):
+        assert get_logger("cluster.engines").name == "repro.cluster.engines"
+
+    def test_keeps_existing_namespace(self):
+        assert get_logger("repro.cluster").name == "repro.cluster"
+        assert get_logger(ROOT_NAMESPACE).name == "repro"
+
+    def test_root_is_silent_by_default(self):
+        root = logging.getLogger(ROOT_NAMESPACE)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestLogEvent:
+    def test_formats_key_values(self, caplog):
+        logger = get_logger("test.logev")
+        with caplog.at_level(logging.DEBUG, logger=logger.name):
+            log_event(logger, logging.DEBUG, "engine.shutdown", wait=True, pools=2)
+        assert caplog.messages == ["engine.shutdown wait=True pools=2"]
+
+    def test_event_without_fields(self, caplog):
+        logger = get_logger("test.logev2")
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            log_event(logger, logging.INFO, "bare.event")
+        assert caplog.messages == ["bare.event"]
+
+    def test_disabled_level_emits_nothing(self, caplog):
+        logger = get_logger("test.logev3")
+        logger.setLevel(logging.WARNING)
+        log_event(logger, logging.DEBUG, "quiet.event", x=1)
+        assert caplog.records == []
+
+    def test_quotes_spaced_strings(self):
+        assert format_fields({"msg": "two words", "n": 3}) == "msg='two words' n=3"
+
+
+class TestConfigure:
+    def test_idempotent_handler_install(self):
+        stream = io.StringIO()
+        root = configure(level=logging.DEBUG, stream=stream)
+        before = len(root.handlers)
+        configure(level=logging.DEBUG, stream=stream)
+        assert len(root.handlers) == before
+        log_event(get_logger("test.conf"), logging.DEBUG, "hello.world", ok=1)
+        assert "hello.world ok=1" in stream.getvalue()
+        # Leave global logging as we found it.
+        for h in list(root.handlers):
+            if not isinstance(h, logging.NullHandler):
+                root.removeHandler(h)
+        root.setLevel(logging.NOTSET)

@@ -1,0 +1,92 @@
+"""Report rendering + the ``repro obs report`` CLI command."""
+
+from typing import Sequence
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.engines import SimulatedEngine
+from repro.obs.report import (
+    node_table,
+    render_report,
+    report_from_file,
+    slowest_spans,
+    stage_table,
+)
+from repro.workloads.base import Workload, WorkloadResult
+
+
+class SumWorkload(Workload):
+    name = "sum"
+
+    def run(self, records: Sequence[int]) -> WorkloadResult:
+        return WorkloadResult(work_units=float(len(records)), output=sum(records))
+
+    def merge(self, partials):
+        return sum(p.output for p in partials)
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    """A real trace: one simulated job run with obs enabled."""
+    obs.enable()
+    with obs.span("stage.sketch", items=120):
+        pass
+    engine = SimulatedEngine(paper_cluster(4, seed=0), unit_rate=10.0)
+    engine.run_job(SumWorkload(), [[1] * 30, [2] * 30, [3] * 30, [4] * 30])
+    path = tmp_path / "run.trace.jsonl"
+    obs.export_jsonl(path)
+    return path
+
+
+class TestTables:
+    def test_stage_table(self, trace_path):
+        _meta, spans = obs.read_spans(trace_path)
+        rows = stage_table(spans)
+        assert [r["stage"] for r in rows] == ["stage.sketch"]
+        assert rows[0]["count"] == 1
+
+    def test_node_table_covers_all_nodes(self, trace_path):
+        _meta, spans = obs.read_spans(trace_path)
+        rows = node_table(spans)
+        assert [r["node"] for r in rows] == [0, 1, 2, 3]
+        assert all(r["tasks"] == 1 for r in rows)
+        assert all(r["energy_j"] > 0 for r in rows)
+        assert all(0.0 <= r["green_fraction"] <= 1.0 for r in rows)
+
+    def test_slowest_spans_ordering(self, trace_path):
+        _meta, spans = obs.read_spans(trace_path)
+        top = slowest_spans(spans, top_n=3)
+        assert len(top) == 3
+        durations = [s["duration_s"] for s in top]
+        assert durations == sorted(durations, reverse=True)
+
+
+class TestRender:
+    def test_report_sections(self, trace_path):
+        text = report_from_file(trace_path)
+        assert "pipeline stages" in text
+        assert "per-node tasks & energy" in text
+        assert "slowest spans" in text
+        assert "energy split:" in text
+        assert "stage.sketch" in text
+
+    def test_render_empty_trace(self):
+        text = render_report([])
+        assert "0 spans" in text
+
+
+class TestCli:
+    def test_obs_report_command(self, trace_path, capsys):
+        assert main(["obs", "report", str(trace_path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per-node tasks & energy" in out
+        assert "task.execute" in out
+
+    def test_obs_report_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "meta", "schema_version": 999, "span_count": 0}\n')
+        with pytest.raises(ValueError, match="schema_version"):
+            main(["obs", "report", str(bad)])

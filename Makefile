@@ -1,12 +1,16 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-kernels bench-pipeline obs-smoke examples results clean
+.PHONY: install test lint bench bench-kernels bench-pipeline obs-smoke examples results clean
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+# Project-invariant static analysis (zero-dependency; pyflakes runs in CI).
+lint:
+	PYTHONPATH=src python -m repro lint src tests benchmarks examples --baseline .lint-baseline.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

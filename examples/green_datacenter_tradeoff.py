@@ -10,7 +10,7 @@ to the stratified baseline, and reports per-site green statistics.
 Run:  python examples/green_datacenter_tradeoff.py
 """
 
-from repro import STRATIFIED, Strategy, load_dataset
+from repro import STRATIFIED, Strategy
 from repro.bench.harness import StrategyRunner
 from repro.bench.reporting import format_frontier
 from repro.core.pareto import pareto_front

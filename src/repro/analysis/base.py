@@ -1,0 +1,108 @@
+"""Checker base classes.
+
+A checker owns one rule id. Project-scoped rules (import-graph checks,
+cross-module class collection) override :meth:`Checker.check_project`;
+the common case subclasses :class:`ModuleChecker` and implements
+:meth:`ModuleChecker.check_module` for one parsed file at a time.
+
+Suppression filtering is applied by the engine, not the checker, so a
+checker never needs to consult the noqa map itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceModule
+
+
+class Checker:
+    """Base class: one rule, one id, one description."""
+
+    #: Unique upper-case rule id, e.g. ``"RACE-GLOBAL"``.
+    rule_id: str = ""
+    #: One-line human description for ``repro lint --rules``.
+    description: str = ""
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST | None,
+        message: str,
+        **extra: Any,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            path=module.relpath,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            message=message,
+            extra=extra,
+        )
+
+
+class ModuleChecker(Checker):
+    """Checker that inspects one module at a time."""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for module in project:
+            if module.tree is None:
+                continue
+            yield from self.check_module(module)
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last attribute segment: ``obs.span`` → ``span``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    """Yield every function with its enclosing class (or ``None``)."""
+
+    def walk(body: list[ast.stmt], cls: ast.ClassDef | None) -> Iterator:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, cls
+                yield from walk(node.body, cls)
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body, node)
+            elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+                for field_name in ("body", "orelse", "finalbody", "handlers"):
+                    sub = getattr(node, field_name, None)
+                    if not sub:
+                        continue
+                    for item in sub:
+                        if isinstance(item, ast.ExceptHandler):
+                            yield from walk(item.body, cls)
+                        elif isinstance(item, ast.stmt):
+                            yield from walk([item], cls)
+
+    yield from walk(tree.body, None)

@@ -1,0 +1,84 @@
+"""Committed-baseline support: grandfather findings without hiding new ones.
+
+The baseline file is JSON so CI can diff it and humans can review it::
+
+    {
+      "version": 1,
+      "findings": [
+        {"path": "src/repro/x.py", "rule": "NONDET", "message": "..."}
+      ]
+    }
+
+Matching is by :meth:`repro.analysis.findings.Finding.baseline_key` —
+path, rule and message, *not* line — so unrelated edits never churn the
+file. ``repro lint --write-baseline`` regenerates it from the current
+findings; review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file (bad JSON or wrong shape)."""
+
+
+def _entry_key(entry: dict) -> str:
+    return f"{entry['path']}::{entry['rule']}::{entry['message']}"
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Load baseline keys; raises :class:`BaselineError` on bad input."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(f"baseline {path}: expected an object with 'findings'")
+    entries = data["findings"]
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    keys: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or not {"path", "rule", "message"} <= set(entry):
+            raise BaselineError(
+                f"baseline {path}: each finding needs path/rule/message"
+            )
+        keys.add(_entry_key(entry))
+    return keys
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline_keys: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into ``(new, grandfathered)`` by baseline key."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.baseline_key() in baseline_keys else new).append(finding)
+    return new, old
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline file for ``findings``; returns the entry count."""
+    entries = sorted(
+        {
+            (f.path, f.rule, f.message)
+            for f in findings
+        }
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": p, "rule": r, "message": m} for p, r, m in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

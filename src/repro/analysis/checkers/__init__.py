@@ -1,0 +1,19 @@
+"""The shipped rule set — one module per rule."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.kernel_oracle import KernelOracleChecker
+from repro.analysis.checkers.nondet import NondetChecker
+from repro.analysis.checkers.race_global import RaceGlobalChecker
+from repro.analysis.checkers.silent_except import SilentExceptChecker
+from repro.analysis.checkers.span_coverage import SpanCoverageChecker
+from repro.analysis.checkers.truthy_sized import TruthySizedChecker
+
+__all__ = [
+    "KernelOracleChecker",
+    "NondetChecker",
+    "RaceGlobalChecker",
+    "SilentExceptChecker",
+    "SpanCoverageChecker",
+    "TruthySizedChecker",
+]

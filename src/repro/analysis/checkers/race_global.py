@@ -1,0 +1,214 @@
+"""RACE-GLOBAL: module-level mutable state mutated in shared modules.
+
+The PR 2 regression this rule re-detects: the MinHash batch kernel
+cached its scratch blocks in a module-level slot and wrote into them
+via ``out=``; when ``DistributedStratifier`` sketched from several
+threads the slots were shared and hashes were corrupted — a flake, not
+a failure. The fix (``threading.local()``) is invisible to this rule:
+``threading.local()`` is not a tracked mutable constructor, so
+attribute writes on it never fire.
+
+Scope: modules imported by thread or worker entry points —
+``repro.perf.*`` kernels (called from distributed stratifier threads
+and pool workers), ``repro.stratify.distributed``, and
+``repro.cluster.*``. A module-level ``list``/``dict``/``set``/
+``bytearray``/ndarray binding in one of those modules is flagged
+wherever a function mutates it: mutating method calls, subscript or
+attribute stores, augmented assignment, or use as a numpy ``out=``
+target. ``global`` rebinding is flagged for *any* module-level binding,
+mutable-valued or not — the historical race was a check-then-set
+around exactly such an immutable key slot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable
+
+from repro.analysis.base import ModuleChecker, dotted_name, iter_functions, terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.project import SourceModule
+
+#: Module-name predicates for thread/worker-shared code.
+DEFAULT_SHARED_PREFIXES = ("repro.perf", "repro.cluster")
+DEFAULT_SHARED_MODULES = ("repro.stratify.distributed",)
+
+#: Constructor names whose result is mutable shared state worth tracking.
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+_NDARRAY_CALLS = {"empty", "zeros", "ones", "full", "array", "arange", "empty_like", "zeros_like"}
+
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+    "sort",
+    "reverse",
+    "fill",
+    "resize",
+    "sort_values",
+}
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        term = terminal_name(node.func)
+        if term in _MUTABLE_CALLS:
+            return True
+        if name and term in _NDARRAY_CALLS:
+            head = name.split(".", 1)[0]
+            if head in ("np", "numpy"):
+                return True
+    return False
+
+
+def default_shared_module(name: str) -> bool:
+    if name in DEFAULT_SHARED_MODULES:
+        return True
+    return any(
+        name == p or name.startswith(p + ".") for p in DEFAULT_SHARED_PREFIXES
+    )
+
+
+class RaceGlobalChecker(ModuleChecker):
+    rule_id = "RACE-GLOBAL"
+    description = (
+        "module-level mutable state (list/dict/set/ndarray) mutated inside "
+        "functions of thread/worker-shared modules"
+    )
+
+    def __init__(self, module_predicate: Callable[[str], bool] | None = None):
+        self.module_predicate = module_predicate or default_shared_module
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.tree is None or not self.module_predicate(module.name):
+            return
+        tracked: dict[str, int] = {}
+        module_level: dict[str, int] = {}
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            mutable = _is_mutable_value(value)
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id != "__all__":
+                    module_level.setdefault(target.id, stmt.lineno)
+                    if mutable:
+                        tracked[target.id] = stmt.lineno
+        if not module_level:
+            return
+
+        for func, cls in iter_functions(module.tree):
+            where = f"{cls.name}.{func.name}" if cls is not None else func.name
+            yield from self._check_function(
+                module, func, where, tracked, module_level
+            )
+
+    def _check_function(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        where: str,
+        tracked: dict[str, int],
+        module_level: dict[str, int],
+    ) -> Iterable[Finding]:
+        # Names shadowed by parameters are local, not the module global.
+        params = {a.arg for a in func.args.args + func.args.posonlyargs + func.args.kwonlyargs}
+        if func.args.vararg:
+            params.add(func.args.vararg.arg)
+        if func.args.kwarg:
+            params.add(func.args.kwarg.arg)
+        live = {n for n in tracked if n not in params}
+        # `global NAME` rebinds shared state even when the bound value is
+        # immutable: the check-then-set around it is the race (the PR 2
+        # scratch cache raced on exactly such a key slot).
+        rebindable = {n for n in module_level if n not in params}
+        if not live and not rebindable:
+            return
+
+        def hit(node: ast.AST, name: str, how: str) -> Finding:
+            declared = tracked.get(name, module_level.get(name, 0))
+            kind = "mutable" if name in tracked else "binding"
+            return self.finding(
+                module,
+                node,
+                f"module-level {kind} '{name}' (defined line {declared}) "
+                f"is {how} in {where}(); thread/worker-shared modules must not "
+                "mutate module globals — use threading.local() or pass state in",
+                declared_line=declared,
+            )
+
+        for node in ast.walk(func):
+            # Nested functions are visited separately by iter_functions;
+            # revisiting them here would double-report, so skip bodies.
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+                continue
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    if name in rebindable:
+                        yield hit(node, name, "rebound via 'global'")
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in live
+                ):
+                    yield hit(node, node.func.value.id, f"mutated via .{node.func.attr}()")
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "out"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in live
+                    ):
+                        yield hit(node, kw.value.id, "written via out=")
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                    if isinstance(node, ast.AugAssign)
+                    else node.targets
+                )
+                for target in targets:
+                    base = target
+                    how = "rebound"
+                    if isinstance(target, ast.Subscript):
+                        base = target.value
+                        how = "mutated via subscript store"
+                    elif isinstance(target, ast.Attribute):
+                        base = target.value
+                        how = "mutated via attribute store"
+                    if isinstance(base, ast.Name) and base.id in live:
+                        if how == "rebound" and not isinstance(node, ast.AugAssign):
+                            # Plain `NAME = ...` in a function without a
+                            # `global` declaration creates a local; the
+                            # Global branch above catches real rebinds.
+                            continue
+                        if isinstance(node, ast.AugAssign) and base is target:
+                            how = "mutated via augmented assignment"
+                        yield hit(node, base.id, how)

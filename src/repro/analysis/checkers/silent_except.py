@@ -1,0 +1,102 @@
+"""SILENT-EXCEPT: broad handlers that swallow failures invisibly.
+
+Energy accounting and telemetry paths must never eat errors silently —
+a swallowed failure in an accountant or teardown path skews the very
+measurements the Pareto optimizer trades on. PR 3 replaced the
+library's historical ``except: pass`` sites with structured
+:func:`repro.obs.log.log_event` records; this rule keeps new ones out.
+
+A handler is flagged when it is *broad* — bare ``except:``, ``except
+Exception``, or ``except BaseException`` (alone or in a tuple) — and
+its body does none of the following:
+
+- re-raise (any ``raise`` statement in the handler body),
+- log through :mod:`repro.obs.log` (``log_event(...)``) or a stdlib
+  logger method (``logger.debug/info/warning/error/exception/...``),
+- ``warnings.warn``,
+- fail the surrounding test (``pytest.fail/skip/xfail``, ``self.fail``,
+  or an ``assert``).
+
+Narrow handlers (``except IndexError:``) are out of scope no matter
+what the body does. Intentional swallows — e.g. the engine's interpreter
+teardown path where logging itself may already be gone — carry a
+justified ``# repro: noqa[SILENT-EXCEPT]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import ModuleChecker, dotted_name, terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.project import SourceModule
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+_LOGGING_CALLS = {
+    "log_event",
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "log",
+    "fail",
+    "skip",
+    "xfail",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str | None:
+    """Return a human name when the handler is bare/broad, else None."""
+    if handler.type is None:
+        return "bare except"
+    exprs = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in exprs:
+        name = terminal_name(expr)
+        if name in _BROAD_NAMES:
+            return f"except {name}"
+    return None
+
+
+def _body_handles(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            return True
+        if isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            if name in _LOGGING_CALLS:
+                return True
+            dotted = dotted_name(node.func) or ""
+            if dotted.startswith(("warnings.", "logging.")):
+                return True
+    return False
+
+
+class SilentExceptChecker(ModuleChecker):
+    rule_id = "SILENT-EXCEPT"
+    description = (
+        "bare/broad except whose body neither re-raises nor logs via "
+        "repro.obs.log (swallowed failures skew energy accounting)"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _is_broad(node)
+            if broad is None or _body_handles(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{broad} swallows the error: re-raise, or record it with "
+                "repro.obs.log.log_event (a silent failure here corrupts "
+                "downstream accounting)",
+            )

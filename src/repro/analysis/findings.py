@@ -1,0 +1,45 @@
+"""The :class:`Finding` record every checker emits.
+
+A finding is one rule violation at one source location. Its
+``baseline_key`` deliberately omits the line number: baselined findings
+survive unrelated edits that shift code up or down, and go stale only
+when the offending construct itself changes (message text embeds the
+construct, e.g. the variable or class name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Optional machine-readable extras (never part of identity).
+    extra: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def baseline_key(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

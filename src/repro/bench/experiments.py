@@ -18,9 +18,6 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.bench.harness import ExperimentRow, StrategyRunner
-from repro.cluster.cluster import paper_cluster
-from repro.cluster.engines import SimulatedEngine
-from repro.core.framework import ParetoPartitioner
 from repro.core.strategies import (
     ALPHA_COMPRESSION,
     ALPHA_FPM,

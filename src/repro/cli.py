@@ -16,6 +16,10 @@ Commands
 ``obs report``
     Summarise a JSONL trace (per-stage latency, per-node energy,
     slowest spans); produce traces with ``compare --trace PATH``.
+``lint``
+    Run the project-invariant static analysis suite
+    (:mod:`repro.analysis`) over source trees. Exit codes: 0 clean,
+    1 findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -175,6 +179,46 @@ def cmd_obs_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import analyze_paths, render_json, render_text, write_baseline
+    from repro.analysis.baseline import BaselineError, load_baseline
+    from repro.analysis.engine import all_checkers
+    from repro.analysis.reporters import render_rules
+
+    if args.rules:
+        print(render_rules([(c.rule_id, c.description) for c in all_checkers()]))
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ("src", "tests"))]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_keys: set[str] | None = None
+    if args.baseline:
+        if not Path(args.baseline).exists():
+            print(f"repro lint: baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        try:
+            baseline_keys = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    report = analyze_paths(paths, baseline_keys=baseline_keys)
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report.findings)
+        print(f"wrote {count} baseline entries to {args.write_baseline}")
+        return 0
+
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return report.exit_code
+
+
 def cmd_reproduce(args) -> int:
     from repro.bench.reproduce import reproduce_all
 
@@ -242,6 +286,34 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("trace", help="path to a trace written by --trace / export_jsonl")
     rp.add_argument("--top", type=int, default=10, help="slowest spans to list")
     rp.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "lint", help="run the project-invariant static analysis suite"
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src tests)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of grandfathered findings to filter out",
+    )
+    p.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write current findings as a new baseline and exit 0",
+    )
+    p.add_argument(
+        "--rules", action="store_true", help="list the rule catalogue and exit"
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "reproduce", help="regenerate every paper artefact into a directory"

@@ -8,7 +8,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.cluster.node import Node, NodeType, PAPER_NODE_TYPES
-from repro.energy.traces import GOOGLE_DC_LOCATIONS, EnergyTrace, generate_trace
+from repro.energy.traces import GOOGLE_DC_LOCATIONS, generate_trace
 from repro.kvstore.client import ClusterClient
 
 

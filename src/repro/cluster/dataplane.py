@@ -43,7 +43,7 @@ import atexit
 import hashlib
 import logging
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import repro.obs as obs
@@ -335,6 +335,9 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         # unlink() performs the one matching unregister — no extra
         # bookkeeping needed, and no tracker KeyError/leak warnings.
         seg = shared_memory.SharedMemory(name=name, create=False)
+        # Per-process cache by design: pool workers are single-threaded, and a
+        # duplicate attach under a theoretical race is idempotent (same
+        # segment, same name).  # repro: noqa[RACE-GLOBAL]
         _ATTACHED[name] = seg
     return seg
 

@@ -29,7 +29,6 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-import numpy as np
 
 import repro.obs as obs
 from repro.cluster.cluster import Cluster
@@ -149,8 +148,15 @@ class ExecutionEngine(abc.ABC):
     def profile(self, workload: Workload, records: Sequence[Any], node_id: int) -> float:
         """Runtime of ``workload`` on ``records`` at ``node_id`` — the
         probe the progressive-sampling estimator uses."""
-        (pair,) = self._execute_partitions(workload, [records], [node_id])
-        return pair[1]
+        with obs.span(
+            "engine.profile",
+            engine=type(self).__name__,
+            node=node_id,
+            records=len(records),
+        ) as sp:
+            (pair,) = self._execute_partitions(workload, [records], [node_id])
+            sp.set_attr("runtime_s", pair[1])
+            return pair[1]
 
     def profile_all_nodes(
         self, workload: Workload, records: Sequence[Any]
@@ -160,10 +166,16 @@ class ExecutionEngine(abc.ABC):
         Default: one probe per node. Engines whose runtime is a pure
         function of work units override this to run the workload once.
         """
-        return [
-            self.profile(workload, records, node_id)
-            for node_id in range(self.cluster.num_nodes)
-        ]
+        with obs.span(
+            "engine.profile_all_nodes",
+            engine=type(self).__name__,
+            nodes=self.cluster.num_nodes,
+            records=len(records),
+        ):
+            return [
+                self.profile(workload, records, node_id)
+                for node_id in range(self.cluster.num_nodes)
+            ]
 
     def run_job(
         self,
@@ -265,7 +277,13 @@ class SimulatedEngine(ExecutionEngine):
     def profile_all_nodes(self, workload, records):
         # Simulated runtime is work/(rate·speed): run the workload once
         # and derive every node's runtime from the same work count.
-        result = workload.run(list(records))
+        with obs.span(
+            "engine.profile_all_nodes",
+            engine=type(self).__name__,
+            nodes=self.cluster.num_nodes,
+            records=len(records),
+        ):
+            result = workload.run(list(records))
         return [
             node.runtime_for_work(result.work_units, self.unit_rate)
             for node in self.cluster
@@ -439,8 +457,8 @@ class ProcessPoolEngine(ExecutionEngine):
                     _log, logging.DEBUG, "engine.del.shutdown_failed",
                     error=type(exc).__name__,
                 )
-            except BaseException:
-                pass  # logging itself is gone this deep into teardown
+            except BaseException:  # repro: noqa[SILENT-EXCEPT] — logging itself is gone this deep into interpreter teardown
+                pass
 
     def _map_tasks(
         self, workload: Workload, partitions: Sequence[Sequence[Any]]
@@ -507,7 +525,13 @@ class ProcessPoolEngine(ExecutionEngine):
         # run the sample once on the pool instead of once per node.
         # Passing `records` through unchanged lets repeat probes of the
         # same sample hit the data plane's identity cache.
-        ((_, wall),) = self._map_tasks(workload, [records])
+        with obs.span(
+            "engine.profile_all_nodes",
+            engine=type(self).__name__,
+            nodes=self.cluster.num_nodes,
+            records=len(records),
+        ):
+            ((_, wall),) = self._map_tasks(workload, [records])
         return [
             node.task_overhead_s / node.speed_factor + wall / node.speed_factor
             for node in self.cluster

@@ -31,7 +31,6 @@ from repro.cluster.engines import ExecutionEngine, JobResult
 from repro.core.heterogeneity import ProfilingReport, ProgressiveSampler
 from repro.core.optimizer import ParetoOptimizer, PartitionPlan
 from repro.core.partitioner import (
-    equal_sizes,
     random_partitions,
     representative_partitions,
     round_robin_partitions,

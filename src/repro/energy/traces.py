@@ -11,7 +11,7 @@ rescaled to per second average for greater precision").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -75,7 +75,7 @@ class DistributedStratifier:
             store.set(_SKETCH_KEY.format(node=node_id), sketches.tobytes())
             store.set(_INDEX_KEY.format(node=node_id), indices.tobytes())
             barrier.wait(party_id=node_id)
-        except BaseException as exc:  # surfaced to the caller after join
+        except BaseException as exc:  # repro: noqa[SILENT-EXCEPT] — not swallowed: collected per worker and re-raised by stratify() after join
             errors.append(exc)
 
     def stratify(self, items: Sequence[Any]) -> Stratification:

@@ -20,8 +20,7 @@ the kernels are property-tested against — both paths are bit-identical.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,7 +14,7 @@ is why the paper sees little het-aware gain for LZ77 (Tables II/III).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.kvstore.codec import decode_partition, encode_partition

@@ -13,8 +13,7 @@ inflates.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from itertools import combinations
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

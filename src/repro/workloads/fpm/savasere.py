@@ -18,7 +18,7 @@ phase 2's cost is proportional to the candidate count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.cluster.engines import ExecutionEngine, JobResult

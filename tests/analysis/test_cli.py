@@ -1,0 +1,175 @@
+"""``repro lint`` CLI contract: exit codes (0 clean / 1 findings /
+2 usage error), JSON schema, baseline filtering, noqa semantics."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = textwrap.dedent(
+    """
+    def add(a, b):
+        return a + b
+    """
+)
+
+SWALLOW = textwrap.dedent(
+    """
+    def f():
+        try:
+            work()
+        except Exception:
+            pass
+    """
+)
+
+LEGACY_RNG = textwrap.dedent(
+    """
+    import random
+
+    def g():
+        return random.random()
+    """
+)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(SWALLOW)
+    return path
+
+
+class TestExitCodes:
+    def test_zero_on_clean_tree(self, clean_file, capsys):
+        assert main(["lint", str(clean_file)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_one_on_findings(self, bad_file, capsys):
+        assert main(["lint", str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert "SILENT-EXCEPT" in out
+        assert "bad.py:5:" in out
+
+    def test_two_on_missing_path(self, capsys):
+        assert main(["lint", "no/such/path"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_two_on_bad_flag_value(self, clean_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--format", "yaml", str(clean_file)])
+        assert exc.value.code == 2
+
+    def test_two_on_missing_baseline_file(self, clean_file, capsys):
+        assert (
+            main(["lint", "--baseline", "no/such/baseline.json", str(clean_file)])
+            == 2
+        )
+        assert "baseline not found" in capsys.readouterr().err
+
+    def test_two_on_malformed_baseline(self, tmp_path, clean_file, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        assert main(["lint", "--baseline", str(baseline), str(clean_file)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_schema(self, bad_file, capsys):
+        assert main(["lint", "--format", "json", str(bad_file)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert set(payload["rules"]) == {
+            "RACE-GLOBAL",
+            "TRUTHY-SIZED",
+            "SILENT-EXCEPT",
+            "KERNEL-ORACLE",
+            "NONDET",
+            "SPAN-COVERAGE",
+        }
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "SILENT-EXCEPT"
+        assert finding["path"].endswith("bad.py")
+        assert isinstance(finding["line"], int) and finding["line"] > 0
+        assert isinstance(finding["col"], int)
+        assert "message" in finding
+        summary = payload["summary"]
+        assert summary["findings"] == 1
+        assert summary["files_scanned"] == 1
+        assert summary["suppressed"] == 0
+        assert summary["baselined"] == 0
+
+    def test_json_clean(self, clean_file, capsys):
+        assert main(["lint", "--format", "json", str(clean_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestBaselineFlow:
+    def test_write_then_filter(self, tmp_path, bad_file, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline), str(bad_file)]) == 0
+        assert "wrote 1 baseline entries" in capsys.readouterr().out
+
+        assert main(["lint", "--baseline", str(baseline), str(bad_file)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_baseline_does_not_mask_new_findings(self, tmp_path, bad_file, capsys):
+        baseline = tmp_path / "baseline.json"
+        main(["lint", "--write-baseline", str(baseline), str(bad_file)])
+        capsys.readouterr()
+
+        fresh = tmp_path / "fresh.py"
+        fresh.write_text(LEGACY_RNG)
+        assert main(["lint", "--baseline", str(baseline), str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "NONDET" in out
+        assert "SILENT-EXCEPT" not in out
+
+
+class TestNoqaSemantics:
+    def test_rule_specific_suppression(self, tmp_path, capsys):
+        path = tmp_path / "suppressed.py"
+        path.write_text(
+            SWALLOW.replace(
+                "except Exception:",
+                "except Exception:  # repro: noqa[SILENT-EXCEPT]",
+            )
+        )
+        assert main(["lint", str(path)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        path = tmp_path / "wrong.py"
+        path.write_text(
+            SWALLOW.replace(
+                "except Exception:", "except Exception:  # repro: noqa[NONDET]"
+            )
+        )
+        assert main(["lint", str(path)]) == 1
+
+
+class TestRulesListing:
+    def test_catalogue(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "RACE-GLOBAL",
+            "TRUTHY-SIZED",
+            "SILENT-EXCEPT",
+            "KERNEL-ORACLE",
+            "NONDET",
+            "SPAN-COVERAGE",
+        ):
+            assert rule in out

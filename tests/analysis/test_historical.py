@@ -1,0 +1,113 @@
+"""The acceptance tests from ISSUE 5: each flagship rule must re-detect
+the shipped defect that motivated it, run against a reverted snippet —
+and must stay quiet on the fixed code actually in the tree.
+
+- PR 2: the MinHash batch kernel cached scratch blocks in module-global
+  slots written via ``out=``; ``DistributedStratifier`` threads shared
+  them and corrupted hashes (flaked ``test_matches_centralized_result``).
+- PR 3: ``Tracer.__len__`` made an empty tracer falsy, so ``if tracer:``
+  guards in worker paths silently stopped collecting spans.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.checkers import RaceGlobalChecker, TruthySizedChecker
+from repro.analysis.project import Project, SourceModule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The PR 2 scratch cache as it was before the threading.local() fix:
+#: one module-global slot, rebound and written from every sketching
+#: thread.
+PR2_SCRATCH_REVERTED = textwrap.dedent(
+    """
+    import numpy as np
+
+    _SCRATCH_KEY = None
+    _SCRATCH_BLOCKS = {}
+
+    def _scratch(k, m):
+        global _SCRATCH_KEY
+        if _SCRATCH_KEY != (k, m):
+            _SCRATCH_KEY = (k, m)
+            _SCRATCH_BLOCKS["t"] = np.empty((k, m), dtype=np.uint64)
+            _SCRATCH_BLOCKS["w"] = np.empty((k, m), dtype=np.uint64)
+        return _SCRATCH_BLOCKS["t"], _SCRATCH_BLOCKS["w"]
+
+    def sketch_batch(flat, a, b):
+        t, w = _scratch(a.size, flat.size)
+        np.multiply(a[:, None], flat[None, :], out=t)
+        return t
+    """
+)
+
+#: The PR 3 tracer as it was before span_count(): __len__ without
+#: __bool__, truth-tested in the worker path.
+PR3_TRACER_REVERTED = textwrap.dedent(
+    """
+    class Tracer:
+        def __init__(self):
+            self.spans = []
+
+        def __len__(self):
+            return len(self.spans)
+
+        def span(self, name, **attrs):
+            self.spans.append({"name": name, **attrs})
+
+    def pool_task(records, trace):
+        tracer = Tracer() if trace else None
+        if tracer:
+            tracer.span("worker.run", items=len(records))
+        return records
+    """
+)
+
+
+class TestPR2ScratchRace:
+    def test_reverted_snippet_is_re_detected(self):
+        module = SourceModule.from_source(
+            PR2_SCRATCH_REVERTED, "src/repro/perf/minhash_kernels.py"
+        )
+        findings = list(
+            RaceGlobalChecker().check_project(Project(modules=[module]))
+        )
+        assert findings, "RACE-GLOBAL failed to re-detect the PR 2 scratch race"
+        assert all(f.rule == "RACE-GLOBAL" for f in findings)
+        names = {f.message.split("'")[1] for f in findings}
+        assert "_SCRATCH_BLOCKS" in names
+        assert "_SCRATCH_KEY" in names
+
+    def test_fixed_module_in_tree_is_clean(self):
+        path = REPO_ROOT / "src/repro/perf/minhash_kernels.py"
+        module = SourceModule.from_path(path, REPO_ROOT)
+        findings = list(
+            RaceGlobalChecker().check_project(Project(modules=[module]))
+        )
+        assert findings == [], "the threading.local() fix must not be flagged"
+
+
+class TestPR3TracerTruthiness:
+    def test_reverted_snippet_is_re_detected(self):
+        module = SourceModule.from_source(
+            PR3_TRACER_REVERTED, "src/repro/obs/trace.py"
+        )
+        findings = list(
+            TruthySizedChecker().check_project(Project(modules=[module]))
+        )
+        assert findings, "TRUTHY-SIZED failed to re-detect the PR 3 Tracer bug"
+        (finding,) = findings
+        assert finding.rule == "TRUTHY-SIZED"
+        assert "'tracer'" in finding.message
+        assert "Tracer" in finding.message
+
+    def test_fixed_module_in_tree_is_clean(self):
+        path = REPO_ROOT / "src/repro/obs/trace.py"
+        module = SourceModule.from_path(path, REPO_ROOT)
+        findings = list(
+            TruthySizedChecker().check_project(Project(modules=[module]))
+        )
+        assert findings == [], "span_count() replaced __len__; nothing to flag"

@@ -13,7 +13,6 @@ import pytest
 
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.dataplane import (
-    PartitionRef,
     SharedPartitionStore,
     fetch_partition,
 )

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.engines import SimulatedEngine
 from repro.core.framework import ParetoPartitioner
-from repro.core.strategies import HET_AWARE, RANDOM, STRATIFIED, Strategy, het_energy_aware
+from repro.core.strategies import HET_AWARE, RANDOM, STRATIFIED, Strategy
 from repro.data.datasets import load_dataset
 from repro.workloads.compression.distributed import CompressionWorkload
 from repro.workloads.fpm.apriori import AprioriWorkload

@@ -1,6 +1,5 @@
 """Unit tests for Pareto dominance, frontiers and sweeps."""
 
-import numpy as np
 import pytest
 
 from repro.core.heterogeneity import LinearTimeModel

@@ -1,6 +1,5 @@
 """Unit tests for the dataset registry (Table I analog)."""
 
-import numpy as np
 import pytest
 
 from repro.data.datasets import DATASET_NAMES, dataset_summary, load_dataset

@@ -1,6 +1,5 @@
 """Smoke tests for every per-figure experiment entry point (small scale)."""
 
-import pytest
 
 from repro.bench import experiments
 from repro.bench.experiments import FrontierSeries

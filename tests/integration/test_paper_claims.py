@@ -19,7 +19,6 @@ from repro.core.strategies import (
     Strategy,
     het_energy_aware,
 )
-from repro.data.datasets import load_dataset
 from repro.workloads.compression.distributed import CompressionWorkload
 from repro.workloads.fpm.apriori import AprioriWorkload
 from repro.workloads.fpm.treemining import TreeMiningWorkload

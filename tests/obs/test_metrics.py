@@ -5,8 +5,6 @@ import threading
 import pytest
 
 from repro.obs.metrics import (
-    Counter,
-    Gauge,
     Histogram,
     MetricsRegistry,
 )

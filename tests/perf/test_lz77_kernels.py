@@ -7,7 +7,6 @@ partitions through both paths; tiny windows and ``max_chain=1`` stress
 the deque-trimming probe accounting the fast coder emulates.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.stratify.kmodes import CompositeKModes, KModesResult
+from repro.stratify.kmodes import CompositeKModes
 
 
 def planted_sketches(n_per_cluster=30, k=16, n_clusters=3, noise_slots=2, seed=0):

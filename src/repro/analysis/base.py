@@ -82,6 +82,20 @@ def terminal_name(node: ast.AST) -> str | None:
     return None
 
 
+#: Compound statements whose nested bodies can define functions.
+_BLOCK_STMTS: tuple[type[ast.stmt], ...] = (
+    ast.If,
+    ast.Try,
+    ast.With,
+    ast.For,
+    ast.While,
+    ast.AsyncWith,
+    ast.AsyncFor,
+)
+if hasattr(ast, "TryStar"):  # 3.11+
+    _BLOCK_STMTS = _BLOCK_STMTS + (ast.TryStar,)
+
+
 def iter_functions(
     tree: ast.Module,
 ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
@@ -94,7 +108,10 @@ def iter_functions(
                 yield from walk(node.body, cls)
             elif isinstance(node, ast.ClassDef):
                 yield from walk(node.body, node)
-            elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+            elif isinstance(node, ast.Match):
+                for case in node.cases:
+                    yield from walk(case.body, cls)
+            elif isinstance(node, _BLOCK_STMTS):
                 for field_name in ("body", "orelse", "finalbody", "handlers"):
                     sub = getattr(node, field_name, None)
                     if not sub:
@@ -106,3 +123,30 @@ def iter_functions(
                             yield from walk([item], cls)
 
     yield from walk(tree.body, None)
+
+
+def walk_function_scope(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """``ast.walk(func)``, pruning nested function-definition subtrees.
+
+    Nested ``def``s run in their own scope and are yielded separately by
+    :func:`iter_functions`; descending into their bodies here would
+    double-report findings and ignore their shadowing parameters. Their
+    decorators and argument defaults *do* evaluate in the enclosing
+    scope, so those subtrees are kept. Lambdas are not pruned — nothing
+    else visits them.
+    """
+    pending: list[ast.AST] = [func]
+    while pending:
+        node = pending.pop()
+        yield node
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not func
+        ):
+            pending.extend(node.decorator_list)
+            pending.extend(node.args.defaults)
+            pending.extend(d for d in node.args.kw_defaults if d is not None)
+        else:
+            pending.extend(ast.iter_child_nodes(node))

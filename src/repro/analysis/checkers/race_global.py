@@ -25,7 +25,13 @@ from __future__ import annotations
 import ast
 from typing import Callable, Iterable
 
-from repro.analysis.base import ModuleChecker, dotted_name, iter_functions, terminal_name
+from repro.analysis.base import (
+    ModuleChecker,
+    dotted_name,
+    iter_functions,
+    terminal_name,
+    walk_function_scope,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.project import SourceModule
 
@@ -162,11 +168,9 @@ class RaceGlobalChecker(ModuleChecker):
                 declared_line=declared,
             )
 
-        for node in ast.walk(func):
-            # Nested functions are visited separately by iter_functions;
-            # revisiting them here would double-report, so skip bodies.
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
-                continue
+        # walk_function_scope prunes nested def bodies: iter_functions
+        # visits them separately, with their own shadowing parameters.
+        for node in walk_function_scope(func):
             if isinstance(node, ast.Global):
                 for name in node.names:
                     if name in rebindable:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Sequence
 
-from repro.analysis.base import Checker, iter_functions, terminal_name
+from repro.analysis.base import Checker, iter_functions, terminal_name, walk_function_scope
 from repro.analysis.findings import Finding
 from repro.analysis.project import Project, SourceModule
 
@@ -130,7 +130,7 @@ class TruthySizedChecker(Checker):
                 return self.factories[name]
             return None
 
-        for node in ast.walk(func):
+        for node in walk_function_scope(func):
             if isinstance(node, ast.Assign):
                 cls = value_class(node.value)
                 if cls:
@@ -167,9 +167,10 @@ class TruthySizedChecker(Checker):
                 )
             return None
 
-        for node in ast.walk(func):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
-                continue
+        # walk_function_scope prunes nested def bodies: iter_functions
+        # visits them separately, so each truth-test is checked once
+        # against its own scope's tracked variables.
+        for node in walk_function_scope(func):
             found: Finding | None = None
             if isinstance(node, (ast.If, ast.While)):
                 found = flag(node.test, "if/while condition")

@@ -17,8 +17,10 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 #: ``# repro: noqa`` (all rules) or ``# repro: noqa[RULE-A,RULE-B]``.
+#: The bracket group matches even when empty so ``noqa[]`` is seen as a
+#: malformed targeted suppression, not a blanket one.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\- ]+)\])?", re.IGNORECASE
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\- ]*)\])?", re.IGNORECASE
 )
 
 #: Directories never scanned, wherever they appear.
@@ -50,7 +52,11 @@ def parse_noqa(lines: list[str]) -> dict[int, frozenset[str] | None]:
             out[idx] = None
         else:
             ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
-            out[idx] = ids or None
+            if not ids:
+                # Malformed targeted suppression (`noqa[]`, `noqa[,]`):
+                # suppress nothing rather than silently widening to all.
+                continue
+            out[idx] = ids
     return out
 
 

@@ -208,7 +208,12 @@ def cmd_lint(args) -> int:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
 
-    report = analyze_paths(paths, baseline_keys=baseline_keys)
+    # --write-baseline must snapshot the *unfiltered* findings: writing
+    # after --baseline filtering would drop still-present grandfathered
+    # entries, so the very next gated run reports them as new.
+    report = analyze_paths(
+        paths, baseline_keys=None if args.write_baseline else baseline_keys
+    )
 
     if args.write_baseline:
         count = write_baseline(args.write_baseline, report.findings)

@@ -111,6 +111,36 @@ class TestRaceGlobal:
         )
         assert run_checker(RaceGlobalChecker(), shadowed) == []
 
+    def test_nested_function_mutation_reported_once(self):
+        nested = mod(
+            """
+            _CACHE = {}
+
+            def outer():
+                def inner():
+                    _CACHE["k"] = 1
+                return inner
+            """,
+            "src/repro/perf/fixture_kernels.py",
+        )
+        findings = run_checker(RaceGlobalChecker(), nested)
+        assert len(findings) == 1
+        assert "inner()" in findings[0].message
+
+    def test_nested_function_parameter_shadowing_not_flagged(self):
+        shadowed = mod(
+            """
+            _CACHE = {}
+
+            def outer():
+                def inner(_CACHE):
+                    _CACHE["k"] = 1
+                return inner
+            """,
+            "src/repro/perf/fixture_kernels.py",
+        )
+        assert run_checker(RaceGlobalChecker(), shadowed) == []
+
 
 # -- TRUTHY-SIZED ----------------------------------------------------------
 
@@ -178,6 +208,25 @@ class TestTruthySized:
         findings = run_checker(TruthySizedChecker(), bad)
         assert len(findings) == 1
         assert "while" in findings[0].message or "if/while" in findings[0].message
+
+    def test_nested_function_truth_test_reported_once(self):
+        bad = mod(
+            """
+            class Tracer:
+                def __len__(self):
+                    return 0
+
+            def outer():
+                def inner():
+                    tracer = Tracer()
+                    if tracer:
+                        return True
+                return inner
+            """,
+            "src/repro/obs/fixture_trace.py",
+        )
+        findings = run_checker(TruthySizedChecker(), bad)
+        assert len(findings) == 1
 
     def test_non_repro_class_ignored(self):
         outside = mod(

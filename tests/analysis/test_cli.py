@@ -125,6 +125,30 @@ class TestBaselineFlow:
         assert main(["lint", "--baseline", str(baseline), str(bad_file)]) == 0
         assert "1 baselined" in capsys.readouterr().out
 
+    def test_write_baseline_ignores_baseline_filter(self, tmp_path, bad_file, capsys):
+        first = tmp_path / "baseline.json"
+        main(["lint", "--write-baseline", str(first), str(bad_file)])
+        capsys.readouterr()
+
+        # Regenerating with the old baseline active must keep the
+        # still-present grandfathered finding in the new file.
+        second = tmp_path / "regenerated.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    "--baseline",
+                    str(first),
+                    "--write-baseline",
+                    str(second),
+                    str(bad_file),
+                ]
+            )
+            == 0
+        )
+        assert "wrote 1 baseline entries" in capsys.readouterr().out
+        assert main(["lint", "--baseline", str(second), str(bad_file)]) == 0
+
     def test_baseline_does_not_mask_new_findings(self, tmp_path, bad_file, capsys):
         baseline = tmp_path / "baseline.json"
         main(["lint", "--write-baseline", str(baseline), str(bad_file)])

@@ -3,9 +3,11 @@ project loading — the machinery every rule relies on."""
 
 from __future__ import annotations
 
+import ast
 import textwrap
 from pathlib import Path
 
+from repro.analysis.base import iter_functions
 from repro.analysis.baseline import load_baseline, split_baselined, write_baseline
 from repro.analysis.checkers import NondetChecker, SilentExceptChecker
 from repro.analysis.engine import SYNTAX_RULE, analyze_paths, analyze_project
@@ -109,6 +111,21 @@ class TestNoqa:
         noqa = parse_noqa(["x = 1  # repro: noqa[RULE-A, RULE-B]"])
         assert noqa == {1: frozenset({"RULE-A", "RULE-B"})}
 
+    def test_empty_rule_list_is_not_blanket(self):
+        # A malformed targeted suppression must not widen to suppress-all.
+        for malformed in ("[]", "[ ]", "[,]"):
+            text = SWALLOW.replace(
+                "except Exception:",
+                f"except Exception:  # repro: noqa{malformed}",
+            )
+            report = analyze_sources((text, "src/repro/x.py"))
+            assert len(report.findings) == 1, malformed
+            assert report.suppressed == 0, malformed
+
+    def test_parse_noqa_empty_brackets(self):
+        assert parse_noqa(["x = 1  # repro: noqa[]"]) == {}
+        assert parse_noqa(["x = 1  # repro: noqa[ ]"]) == {}
+
 
 class TestBaseline:
     def test_round_trip_and_filtering(self, tmp_path):
@@ -150,6 +167,44 @@ class TestBaseline:
         assert a.baseline_key() == b.baseline_key()
         new, old = split_baselined([b], {a.baseline_key()})
         assert new == [] and old == [b]
+
+
+class TestFunctionTraversal:
+    def test_match_async_and_trystar_blocks_visible(self):
+        """Functions defined inside match/async-with/async-for/except*
+        blocks must be visible to every function-scoped rule."""
+        text = textwrap.dedent(
+            """
+            match cmd:
+                case "a":
+                    def in_match():
+                        pass
+
+            async def driver(ctx, items):
+                async with ctx() as c:
+                    def in_async_with():
+                        pass
+                async for item in items:
+                    def in_async_for():
+                        pass
+
+            def wrapper():
+                try:
+                    work()
+                except* ValueError:
+                    def in_try_star():
+                        pass
+            """
+        )
+        names = {f.name for f, _ in iter_functions(ast.parse(text))}
+        assert {
+            "in_match",
+            "driver",
+            "in_async_with",
+            "in_async_for",
+            "wrapper",
+            "in_try_star",
+        } <= names
 
 
 class TestSyntaxAndLoading:

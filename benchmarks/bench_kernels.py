@@ -1,4 +1,4 @@
-"""Kernel micro-benchmarks: batched vs reference hot paths.
+"""Kernel micro-benchmarks: reference vs numpy vs native tiers.
 
 Times the :mod:`repro.perf` kernels against the reference
 implementations they replaced — ragged-batch sketching, batched
@@ -6,6 +6,14 @@ compositeKModes fit, blocked similarity matrix, packed-bitmap Apriori
 mining, the fast LZ77 coder and the batched WebGraph coder — asserting
 bit-identical outputs before reporting any number, and writes the
 measurements to ``benchmarks/results/BENCH_kernels.json``.
+
+Each section records per-tier timings under ``tiers`` — ``reference``,
+``numpy`` and ``native`` (null when numba is not installed, or for
+kernels with no native tier). The autotuner
+(:mod:`repro.perf.autotune`) reads these measurements to rank the
+native tier against numpy, so re-running this benchmark re-seeds
+``kernel="auto"`` dispatch. The legacy ``batched_s`` / ``reference_s``
+/ ``speedup`` keys are kept for older tooling.
 
 Runs standalone (no pytest needed)::
 
@@ -31,8 +39,13 @@ import time
 
 import numpy as np
 
+from repro.perf.native import runtime
 from repro.stratify.kmodes import CompositeKModes
 from repro.stratify.minhash import MinHasher
+
+
+def _tiers(t_reference: float, t_numpy: float, t_native: float | None) -> dict:
+    return {"reference": t_reference, "numpy": t_numpy, "native": t_native}
 
 FULL = {
     "num_sets": 10_000,
@@ -98,20 +111,27 @@ def _best_of(fn, repeats: int = 3) -> float:
 
 def run_kernel_bench(cfg: dict) -> dict:
     rng = np.random.default_rng(0)
-    results: dict[str, dict] = {"config": dict(cfg)}
+    native = runtime.numba_available()
+    results: dict[str, dict] = {"config": dict(cfg), "native_available": native}
 
     # -- sketch_all: ragged batch vs per-set loop --------------------------
     sets = _pivot_sets(cfg["num_sets"], cfg["pivots_per_set"], rng)
-    hasher = MinHasher(num_hashes=cfg["sketch_hashes"], seed=0)
+    hasher = MinHasher(num_hashes=cfg["sketch_hashes"], seed=0, kernel="numpy")
     batched = hasher.sketch_all(sets)  # warm scratch + caches
     reference = hasher.sketch_all_reference(sets)
     assert np.array_equal(batched, reference), "sketch kernel diverged"
     t_batched = _best_of(lambda: hasher.sketch_all(sets))
     t_reference = _best_of(lambda: hasher.sketch_all_reference(sets), repeats=1)
+    t_native = None
+    if native:
+        nat_hasher = MinHasher(num_hashes=cfg["sketch_hashes"], seed=0, kernel="native")
+        assert np.array_equal(nat_hasher.sketch_all(sets), batched), "native sketch diverged"
+        t_native = _best_of(lambda: nat_hasher.sketch_all(sets))
     results["sketch_all"] = {
         "batched_s": t_batched,
         "reference_s": t_reference,
         "speedup": t_reference / t_batched,
+        "tiers": _tiers(t_reference, t_batched, t_native),
         "bit_identical": True,
     }
 
@@ -134,10 +154,20 @@ def run_kernel_bench(cfg: dict) -> dict:
     assert fit_b.cost == fit_r.cost and fit_b.iterations == fit_r.iterations
     t_batched = _best_of(lambda: km_batched.fit(sketches), repeats=2)
     t_reference = _best_of(lambda: km_reference.fit(sketches), repeats=1)
+    t_native = None
+    if native:
+        km_native = CompositeKModes(
+            num_clusters=cfg["kmodes_clusters"], top_l=3, seed=0, kernel="native"
+        )
+        fit_n = km_native.fit(sketches)
+        assert np.array_equal(fit_n.labels, fit_b.labels), "native kmodes diverged"
+        assert fit_n.cost == fit_b.cost
+        t_native = _best_of(lambda: km_native.fit(sketches), repeats=2)
     results["kmodes_fit"] = {
         "batched_s": t_batched,
         "reference_s": t_reference,
         "speedup": t_reference / t_batched,
+        "tiers": _tiers(t_reference, t_batched, t_native),
         "iterations": fit_b.iterations,
         "bit_identical": True,
     }
@@ -153,6 +183,7 @@ def run_kernel_bench(cfg: dict) -> dict:
         "batched_s": t_batched,
         "reference_s": t_reference,
         "speedup": t_reference / t_batched,
+        "tiers": _tiers(t_reference, t_batched, None),  # no native tier
         "bit_identical": True,
     }
 
@@ -178,10 +209,19 @@ def run_kernel_bench(cfg: dict) -> dict:
     assert out_f.work_units == out_r.work_units
     t_batched = _best_of(lambda: fast_miner.mine(transactions), repeats=2)
     t_reference = _best_of(lambda: ref_miner.mine(transactions), repeats=1)
+    t_native = None
+    if native:
+        nat_miner = AprioriMiner(
+            min_support=cfg["apriori_min_support"], kernel="native"
+        )
+        out_n = nat_miner.mine(transactions)
+        assert out_n.counts == out_f.counts, "native apriori diverged"
+        t_native = _best_of(lambda: nat_miner.mine(transactions), repeats=2)
     results["apriori_mine"] = {
         "batched_s": t_batched,
         "reference_s": t_reference,
         "speedup": t_reference / t_batched,
+        "tiers": _tiers(t_reference, t_batched, t_native),
         "patterns": len(out_f.counts),
         "bit_identical": True,
     }
@@ -208,10 +248,17 @@ def run_kernel_bench(cfg: dict) -> dict:
     assert fast_codec.decompress(blob_f) == data
     t_batched = _best_of(lambda: fast_codec.compress(data), repeats=2)
     t_reference = _best_of(lambda: ref_codec.compress(data), repeats=1)
+    t_native = None
+    if native:
+        nat_codec = LZ77Codec(kernel="native")
+        blob_n, st_n = nat_codec.compress(data)
+        assert blob_n == blob_f and st_n == st_f, "native lz77 diverged"
+        t_native = _best_of(lambda: nat_codec.compress(data), repeats=2)
     results["lz77_compress"] = {
         "batched_s": t_batched,
         "reference_s": t_reference,
         "speedup": t_reference / t_batched,
+        "tiers": _tiers(t_reference, t_batched, t_native),
         "ratio": st_f.ratio,
         "bit_identical": True,
     }
@@ -240,6 +287,7 @@ def run_kernel_bench(cfg: dict) -> dict:
         "batched_s": t_batched,
         "reference_s": t_reference,
         "speedup": t_reference / t_batched,
+        "tiers": _tiers(t_reference, t_batched, None),  # no native tier
         "bits_per_edge": wst_f.bits_per_edge,
         "bit_identical": True,
     }
@@ -257,12 +305,21 @@ _KERNEL_SECTIONS = (
 
 
 def _render(results: dict) -> str:
-    lines = ["kernel             batched      reference    speedup"]
+    lines = ["kernel             reference      numpy     native    numpy-vs-ref  native-vs-numpy"]
     for name in _KERNEL_SECTIONS:
         r = results[name]
-        lines.append(
-            f"{name:<18} {r['batched_s']:>9.3f}s  {r['reference_s']:>9.3f}s  {r['speedup']:>6.2f}x"
+        tiers = r["tiers"]
+        t_native = tiers["native"]
+        native_col = f"{t_native:>8.3f}s" if t_native is not None else "       --"
+        native_speed = (
+            f"{tiers['numpy'] / t_native:>6.2f}x" if t_native else "    --"
         )
+        lines.append(
+            f"{name:<18} {tiers['reference']:>8.3f}s  {tiers['numpy']:>8.3f}s  {native_col}"
+            f"  {r['speedup']:>10.2f}x  {native_speed:>15}"
+        )
+    if not results.get("native_available"):
+        lines.append("(native tier not measured: numba unavailable)")
     return "\n".join(lines)
 
 
@@ -291,6 +348,13 @@ def test_bench_kernels(benchmark):
     save_result("BENCH_kernels_smoke", _render(results))
     for name in _KERNEL_SECTIONS:
         assert results[name]["bit_identical"]
+        tiers = results[name]["tiers"]
+        assert tiers["reference"] > 0 and tiers["numpy"] > 0
+        if results["native_available"] and name not in (
+            "similarity_matrix",
+            "webgraph_compress",
+        ):
+            assert tiers["native"] > 0
 
 
 if __name__ == "__main__":

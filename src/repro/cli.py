@@ -25,6 +25,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -127,7 +128,10 @@ def cmd_compare(args) -> int:
         count = obs.export_jsonl(args.trace)
         chrome = f"{args.trace}.chrome.json"
         obs.export_chrome(chrome)
-        print(f"wrote {count} spans to {args.trace} (+ {chrome})")
+        metrics_path = f"{args.trace}.metrics.json"
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(obs.metrics_snapshot(), fh, indent=2, sort_keys=True)
+        print(f"wrote {count} spans to {args.trace} (+ {chrome}, {metrics_path})")
     return 0
 
 

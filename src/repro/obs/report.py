@@ -6,12 +6,18 @@ renders the three views an engineer reads first:
 - per-stage latency (``stage.*`` spans, the five-stage pipeline),
 - per-node latency + energy split (``task.execute`` spans carry the
   energy attributes the engines attach),
-- top-N slowest spans of any kind.
+- top-N slowest spans of any kind,
+- kernel tier dispatch counts, when a ``<trace>.metrics.json`` sidecar
+  (written by ``repro compare --trace``) sits next to the trace — the
+  ``repro_kernel_dispatch_total{kernel,tier}`` counters say which
+  autotuner tier actually ran.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 from collections import defaultdict
 from typing import Any, Sequence
 
@@ -22,9 +28,14 @@ __all__ = [
     "stage_table",
     "node_table",
     "slowest_spans",
+    "kernel_dispatch_table",
     "render_report",
     "report_from_file",
 ]
+
+_DISPATCH_KEY = re.compile(
+    r'^repro_kernel_dispatch_total\{kernel="([^"]+)",tier="([^"]+)"\}$'
+)
 
 
 def _fmt_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -88,7 +99,31 @@ def slowest_spans(spans: list[dict], top_n: int = 10) -> list[dict]:
     return sorted(spans, key=lambda s: -float(s["duration_s"]))[:top_n]
 
 
-def render_report(spans: list[dict], top_n: int = 10, title: str = "") -> str:
+def kernel_dispatch_table(metrics: dict[str, Any]) -> list[dict[str, Any]]:
+    """Per-(kernel, tier) dispatch counts from a metrics snapshot.
+
+    ``metrics`` is the JSON object of a ``<trace>.metrics.json`` sidecar
+    — the :func:`repro.obs.metrics_snapshot` mapping whose keys render
+    labels inline (``name{k="v"}``). Non-dispatch entries are ignored.
+    """
+    rows = []
+    for key, entry in metrics.items():
+        m = _DISPATCH_KEY.match(key)
+        if not m or not isinstance(entry, dict):
+            continue
+        rows.append(
+            {"kernel": m.group(1), "tier": m.group(2), "count": int(entry["value"])}
+        )
+    rows.sort(key=lambda r: (r["kernel"], r["tier"]))
+    return rows
+
+
+def render_report(
+    spans: list[dict],
+    top_n: int = 10,
+    title: str = "",
+    metrics: dict[str, Any] | None = None,
+) -> str:
     """The full ASCII report over one trace's spans."""
     sections: list[str] = []
     if title:
@@ -155,11 +190,35 @@ def render_report(spans: list[dict], top_n: int = 10, title: str = "") -> str:
                 ],
             )
         )
+
+    dispatch = kernel_dispatch_table(metrics) if metrics else []
+    if dispatch:
+        sections.append("\n== kernel tier dispatch ==")
+        sections.append(
+            _fmt_table(
+                ("kernel", "tier", "count"),
+                [(r["kernel"], r["tier"], r["count"]) for r in dispatch],
+            )
+        )
     return "\n".join(sections)
 
 
 def report_from_file(path: str | os.PathLike, top_n: int = 10) -> str:
-    """Validate and summarise one JSONL trace file."""
+    """Validate and summarise one JSONL trace file.
+
+    A ``<trace>.metrics.json`` sidecar next to the trace (written by
+    ``repro compare --trace``) contributes the kernel-dispatch section.
+    """
     validate_jsonl(path)
     _meta, spans = read_spans(path)
-    return render_report(spans, top_n=top_n, title=f"trace: {path}")
+    metrics: dict[str, Any] | None = None
+    sidecar = str(path) + ".metrics.json"
+    if os.path.exists(sidecar):
+        try:
+            with open(sidecar, encoding="utf-8") as fh:
+                loaded = json.load(fh)
+        except (OSError, ValueError):
+            loaded = None
+        if isinstance(loaded, dict):
+            metrics = loaded
+    return render_report(spans, top_n=top_n, title=f"trace: {path}", metrics=metrics)

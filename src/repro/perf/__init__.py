@@ -13,6 +13,16 @@ the stratifier modules call into:
 - :mod:`repro.perf.kmodes_kernels` — batched match-count matrices with
   memory-aware row chunking, a sort/bincount-based top-L centre update,
   and a blocked similarity matrix.
+- :mod:`repro.perf.fpm_kernels` / :mod:`repro.perf.lz77_kernels` —
+  packed-bitmap support counting and the precomputed-link LZ77 coder.
+- :mod:`repro.perf.native` — optional numba-compiled (``native``)
+  counterparts of the four hottest kernels. Imports lazily; without
+  numba the tier reports unavailable and nothing changes.
+- :mod:`repro.perf.autotune` — shape-aware dispatch among the
+  ``reference | numpy | native`` tiers behind ``kernel="auto"``, the
+  default on every workload. Deliberately not re-exported here — it
+  imports :mod:`repro.obs`, and keeping it out of this package marker
+  keeps the kernel modules import-cycle-free.
 
 Every kernel is bit-identical to the reference implementation it
 replaces; the reference paths are kept on the calling classes as

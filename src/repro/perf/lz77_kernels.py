@@ -12,11 +12,15 @@ token stream** (and identical probe/match/literal statistics):
   hash chains of the reference, newest-first, materialised up front.
   Because links compare the actual 32-bit key there are no hash
   collisions to re-verify.
-- :func:`compress_block` walks the links with the reference's exact
+- :func:`scan_matches` walks the links with the reference's exact
   probe discipline (``max_chain`` cap, the window-trimming the deques
   performed, the count-then-break on the first out-of-window entry)
   and extends candidate matches by slice comparison — one ``memcmp``
   per doubling step instead of one interpreter iteration per byte.
+  :func:`serialize_tokens` turns the chosen matches into the token
+  stream; :func:`compress_block` composes the two. The native tier
+  (:mod:`repro.perf.native.lz77_njit`) reuses ``serialize_tokens``, so
+  its blobs are byte-identical by construction.
 - :func:`encode_varint_batch` LEB128-encodes a whole int array at once
   (vectorised byte-count + scatter), so match tokens and the WebGraph
   coder's gap lists serialize without a per-value Python call.
@@ -134,27 +138,26 @@ def encode_varints_bytes(values: Sequence[int] | np.ndarray) -> bytes:
     return buf.tobytes()
 
 
-def compress_block(
-    data: bytes, *, window: int, max_chain: int, max_match: int
-) -> tuple[bytes, dict[str, int]]:
-    """LZ77-compress ``data``; byte-identical to the reference coder.
+def scan_matches(
+    data: bytes, links: np.ndarray, *, window: int, max_chain: int, max_match: int
+) -> tuple[list[int], list[int], list[int], int]:
+    """Walk precomputed links, choosing the reference coder's matches.
 
-    Returns ``(blob, stats)`` where stats carries the reference's
-    counters: ``matches``, ``literals``, ``probes``.
+    ``links`` is the output of :func:`build_match_links`. Returns
+    ``(match_pos, match_dists, match_lens, probes_total)`` — matches in
+    position order with the reference's exact probe accounting. The
+    native tier's :func:`repro.perf.native.lz77_njit.scan_matches_native`
+    implements the same contract.
     """
     n = len(data)
-    links = build_match_links(data)
     nlink = links.size
 
     probes_total = 0
+    match_pos: list[int] = []
     match_dists: list[int] = []
     match_lens: list[int] = []
-    # Each op is (literal_start, literal_end, match_index); match_index
-    # -1 marks the trailing literal run.
-    ops: list[tuple[int, int, int]] = []
 
     pos = 0
-    lit_start = 0
     while pos < n:
         best_len = 0
         best_dist = 0
@@ -186,15 +189,39 @@ def compress_block(
                 cand = int(links[cand])
             probes_total += probes
         if best_len >= _MIN_MATCH:
-            ops.append((lit_start, pos, len(match_dists)))
+            match_pos.append(pos)
             match_dists.append(best_dist)
             match_lens.append(best_len)
             pos += best_len
-            lit_start = pos
         else:
             pos += 1
-    if lit_start < n:
-        ops.append((lit_start, n, -1))
+    return match_pos, match_dists, match_lens, probes_total
+
+
+def serialize_tokens(
+    data: bytes,
+    match_pos: Sequence[int],
+    match_dists: Sequence[int],
+    match_lens: Sequence[int],
+    probes_total: int,
+) -> tuple[bytes, dict[str, int]]:
+    """Serialize a match scan into the reference coder's token stream.
+
+    Shared by the numpy and native tiers (identical match arrays in,
+    identical blob out). Returns ``(blob, stats)`` where stats carries
+    the reference's counters: ``matches``, ``literals``, ``probes``.
+    """
+    n = len(data)
+    # Each op is (literal_start, literal_end, match_index); match_index
+    # -1 marks the trailing literal run. Literal runs are the gaps
+    # between consecutive matches.
+    ops: list[tuple[int, int, int]] = []
+    prev_end = 0
+    for mi in range(len(match_pos)):
+        ops.append((prev_end, int(match_pos[mi]), mi))
+        prev_end = int(match_pos[mi]) + int(match_lens[mi])
+    if prev_end < n:
+        ops.append((prev_end, n, -1))
 
     # Serialize: header + runs + match tokens, all varints batch-encoded
     # up front (a single-value encode_varint_batch call per literal run
@@ -226,3 +253,20 @@ def compress_block(
         "probes": probes_total,
     }
     return bytes(out), stats
+
+
+def compress_block(
+    data: bytes, *, window: int, max_chain: int, max_match: int
+) -> tuple[bytes, dict[str, int]]:
+    """LZ77-compress ``data``; byte-identical to the reference coder.
+
+    Composes :func:`build_match_links`, :func:`scan_matches` and
+    :func:`serialize_tokens`. Returns ``(blob, stats)`` where stats
+    carries the reference's counters: ``matches``, ``literals``,
+    ``probes``.
+    """
+    links = build_match_links(data)
+    match_pos, match_dists, match_lens, probes_total = scan_matches(
+        data, links, window=window, max_chain=max_chain, max_match=max_match
+    )
+    return serialize_tokens(data, match_pos, match_dists, match_lens, probes_total)

@@ -1,0 +1,97 @@
+"""Compiled bitmap support counting (Apriori levels, Eclat DFS nodes).
+
+The numpy tier pays one fancy-indexed copy of the candidate's first
+item row per block plus a ``bitwise_count`` pass; the compiled loops
+AND the item rows word-by-word with the popcount inlined (a SWAR
+sequence — ``np.bitwise_count`` needs numpy 2.x and is not guaranteed
+inside nopython code), so a candidate's support never materialises an
+intermediate row. All masks are ``uint64`` module constants; the SWAR
+steps never overflow, so the interpreted fallback is warning-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.native.runtime import njit
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_LOW7 = np.uint64(0x7F)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S8 = np.uint64(8)
+_S16 = np.uint64(16)
+_S32 = np.uint64(32)
+_ZERO = np.uint64(0)
+
+
+@njit(cache=True)
+def _popcount(x):
+    x = x - ((x >> _S1) & _M1)
+    x = (x & _M2) + ((x >> _S2) & _M2)
+    x = (x + (x >> _S4)) & _M4
+    x = x + (x >> _S8)
+    x = x + (x >> _S16)
+    x = x + (x >> _S32)
+    return x & _LOW7
+
+
+@njit(cache=True)
+def _candidate_supports(bits, rows):
+    n_cand, k = rows.shape
+    num_words = bits.shape[1]
+    out = np.zeros(n_cand, dtype=np.int64)
+    for i in range(n_cand):
+        total = _ZERO
+        for w in range(num_words):
+            acc = bits[rows[i, 0], w]
+            for j in range(1, k):
+                acc = acc & bits[rows[i, j], w]
+            total = total + _popcount(acc)
+        out[i] = total
+    return out
+
+
+@njit(cache=True)
+def _intersect_supports(prefix_bits, bits, ext_rows):
+    n_ext = ext_rows.shape[0]
+    num_words = prefix_bits.shape[0]
+    inter = np.empty((n_ext, num_words), dtype=np.uint64)
+    sup = np.zeros(n_ext, dtype=np.int64)
+    for i in range(n_ext):
+        total = _ZERO
+        for w in range(num_words):
+            v = prefix_bits[w] & bits[ext_rows[i], w]
+            inter[i, w] = v
+            total = total + _popcount(v)
+        sup[i] = total
+    return inter, sup
+
+
+def candidate_supports_native(bitmap, rows: np.ndarray) -> np.ndarray:
+    """Native counterpart of :func:`repro.perf.fpm_kernels.candidate_supports`.
+
+    Same contract: ``rows`` is ``(n_cand, k)`` int64 of bitmap row
+    indices (sentinel row for unseen items), ``k == 0`` means the empty
+    itemset contained in every transaction.
+    """
+    n_cand, k = rows.shape
+    if n_cand == 0:
+        return np.empty(0, dtype=np.int64)
+    if k == 0:
+        return np.full(n_cand, bitmap.num_transactions, dtype=np.int64)
+    return _candidate_supports(bitmap.bits, np.ascontiguousarray(rows, dtype=np.int64))
+
+
+def intersect_supports_native(
+    prefix_bits: np.ndarray, extension_rows: np.ndarray, bitmap
+) -> tuple[np.ndarray, np.ndarray]:
+    """Native counterpart of :func:`repro.perf.fpm_kernels.intersect_supports`."""
+    return _intersect_supports(
+        np.ascontiguousarray(prefix_bits, dtype=np.uint64),
+        bitmap.bits,
+        np.ascontiguousarray(extension_rows, dtype=np.int64),
+    )

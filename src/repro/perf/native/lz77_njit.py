@@ -1,0 +1,93 @@
+"""Compiled LZ77 match scanning over precomputed links.
+
+The numpy tier's :func:`repro.perf.lz77_kernels.compress_block` already
+precomputes the newest-first ``prev`` links with one argsort; its
+remaining Python cost is the per-position chain walk and the
+binary-search match extension. The compiled scan here walks the same
+links with the reference's exact probe discipline (``max_chain`` cap,
+deque-trim emulation on the first out-of-window candidate) and extends
+matches byte-at-a-time — free once compiled — returning the match
+token arrays. Serialization stays in
+:func:`repro.perf.lz77_kernels.serialize_tokens`, shared with the
+numpy tier, so blobs are byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.native.runtime import njit
+
+_MIN_MATCH = 4
+
+
+@njit(cache=True)
+def _scan(data, links, window, max_chain, max_match):
+    n = data.shape[0]
+    nlink = links.shape[0]
+    cap = n // _MIN_MATCH + 1  # a match advances >= _MIN_MATCH positions
+    m_pos = np.empty(cap, dtype=np.int64)
+    m_dist = np.empty(cap, dtype=np.int64)
+    m_len = np.empty(cap, dtype=np.int64)
+    n_matches = 0
+    probes_total = 0
+    pos = 0
+    while pos < n:
+        best_len = 0
+        best_dist = 0
+        if pos < nlink:
+            cand = links[pos]
+            first = cand
+            probes = 0
+            limit = max_match if max_match < n - pos else n - pos
+            while cand >= 0:
+                if probes >= max_chain:
+                    break
+                dist = pos - cand
+                if dist > window:
+                    # Deque-trim emulation: an out-of-window candidate
+                    # the reference deque still held costs one probe
+                    # before the break; a trimmed one costs nothing.
+                    if cand >= first - window:
+                        probes += 1
+                    break
+                probes += 1
+                length = _MIN_MATCH
+                while length < limit and data[cand + length] == data[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = dist
+                    if length >= limit:
+                        break
+                cand = links[cand]
+            probes_total += probes
+        if best_len >= _MIN_MATCH:
+            m_pos[n_matches] = pos
+            m_dist[n_matches] = best_dist
+            m_len[n_matches] = best_len
+            n_matches += 1
+            pos += best_len
+        else:
+            pos += 1
+    return m_pos[:n_matches], m_dist[:n_matches], m_len[:n_matches], probes_total
+
+
+def scan_matches_native(
+    data: bytes, links: np.ndarray, *, window: int, max_chain: int, max_match: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Native counterpart of :func:`repro.perf.lz77_kernels.scan_matches`.
+
+    ``links`` is the output of ``build_match_links(data)``. Returns
+    ``(match_pos, match_dists, match_lens, probes_total)`` with the
+    reference coder's exact match choices and probe accounting.
+    """
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    m_pos, m_dist, m_len, probes = _scan(
+        arr,
+        np.ascontiguousarray(links, dtype=np.int64),
+        int(window),
+        int(max_chain),
+        int(max_match),
+    )
+    return m_pos, m_dist, m_len, int(probes)

@@ -1,0 +1,74 @@
+"""Compiled ragged-batch MinHash sketching.
+
+One fused loop over (set, slot, element) replaces the numpy tier's
+chunked broadcast + ``reduceat``: the running minimum lives in a
+register, the flat element segment of each set is re-read per slot from
+L1, and no ``(k, m)`` temporary is ever materialised. The arithmetic is
+the *reference* five-step mod-``P`` sequence of
+:func:`repro.perf.minhash_kernels.hash_elements` (every intermediate
+stays below ``2**49``, so ``uint64`` never wraps and the interpreted
+fallback is warning-free), which makes bit-identity to
+``MinHasher.sketch_all_reference`` an arithmetic identity rather than a
+proof obligation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.native.runtime import njit
+
+_SIXTEEN = np.uint64(16)
+_LOW_MASK = np.uint64(0xFFFF)
+
+
+@njit(cache=True)
+def _sketch_sets(flat, offsets, a, b, prime, empty_slot):
+    num_sets = offsets.shape[0] - 1
+    k = a.shape[0]
+    out = np.full((num_sets, k), empty_slot, dtype=np.uint64)
+    for s in range(num_sets):
+        start = offsets[s]
+        end = offsets[s + 1]
+        if end <= start:
+            continue  # empty set: keep the sentinel row
+        for j in range(k):
+            aj = a[j]
+            bj = b[j]
+            best = empty_slot
+            for idx in range(start, end):
+                x = flat[idx]
+                hi = x >> _SIXTEEN
+                lo = x & _LOW_MASK
+                t = (aj * hi) % prime
+                t = ((t << _SIXTEEN) % prime + (aj * lo) % prime) % prime
+                h = (t + bj) % prime
+                if h < best:
+                    best = h
+            out[s, j] = best
+    return out
+
+
+def sketch_all_native(
+    flat: np.ndarray,
+    offsets: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    prime: int,
+    empty_slot: int,
+) -> np.ndarray:
+    """Native counterpart of :func:`repro.perf.minhash_kernels.sketch_batch`.
+
+    Same contract: ``(flat, offsets)`` is the CSR layout of
+    ``flatten_sets``, empty sets come back as ``empty_slot`` rows, and
+    the result is bit-identical to the per-set reference sketch.
+    """
+    return _sketch_sets(
+        np.ascontiguousarray(flat, dtype=np.uint64),
+        np.ascontiguousarray(offsets, dtype=np.int64),
+        np.ascontiguousarray(a, dtype=np.uint64),
+        np.ascontiguousarray(b, dtype=np.uint64),
+        np.uint64(prime),
+        np.uint64(empty_slot),
+    )

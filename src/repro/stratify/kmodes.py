@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.perf.kmodes_kernels import factorize_columns, match_counts, top_l_centers
 from repro.perf.minhash_kernels import DEFAULT_CHUNK_BYTES
+from repro.perf import autotune
 
 
 @dataclass
@@ -83,10 +84,12 @@ class CompositeKModes:
     seed:
         RNG seed for centre initialisation.
     kernel:
-        ``"batched"`` (default) routes matching and centre updates
-        through :mod:`repro.perf.kmodes_kernels`; ``"reference"`` runs
-        the original Python-loop implementations. Both produce
-        bit-identical labels, centres and cost.
+        Matching tier: ``"auto"`` (shape-dispatched, the default),
+        ``"numpy"`` (alias ``"batched"``) for the chunked-broadcast
+        kernels of :mod:`repro.perf.kmodes_kernels`, ``"native"`` for
+        the compiled matcher, or ``"reference"`` for the original
+        Python-loop implementations. All tiers produce bit-identical
+        labels, centres and cost.
     chunk_bytes:
         Ceiling on the batched matcher's equality temporary; a pure
         speed/memory knob.
@@ -96,7 +99,7 @@ class CompositeKModes:
     top_l: int = 3
     max_iter: int = 50
     seed: int = 0
-    kernel: str = "batched"
+    kernel: str = "auto"
     chunk_bytes: int = DEFAULT_CHUNK_BYTES
 
     def __post_init__(self) -> None:
@@ -106,14 +109,25 @@ class CompositeKModes:
             raise ValueError("top_l must be positive")
         if self.max_iter <= 0:
             raise ValueError("max_iter must be positive")
-        if self.kernel not in ("batched", "reference"):
-            raise ValueError("kernel must be 'batched' or 'reference'")
+        autotune.validate_kernel(self.kernel, "kmodes")
 
     # -- internals ---------------------------------------------------------
 
-    def _match_counts(self, sketches: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    def _resolve_tier(self, sketches: np.ndarray, num_clusters: int) -> str:
+        n, k = sketches.shape
+        return autotune.resolve_tier(
+            self.kernel, kind="kmodes", work=n * num_clusters * k * self.top_l
+        )
+
+    def _match_counts(
+        self, sketches: np.ndarray, centers: np.ndarray, tier: str
+    ) -> np.ndarray:
         """``(n, K)`` matrix of matched-attribute counts."""
-        if self.kernel == "batched":
+        if tier == "native":
+            from repro.perf.native.kmodes_njit import match_counts_native
+
+            return match_counts_native(sketches, centers)
+        if tier == "numpy":
             return match_counts(sketches, centers, chunk_bytes=self.chunk_bytes)
         return self._match_counts_reference(sketches, centers)
 
@@ -162,7 +176,8 @@ class CompositeKModes:
             raise ValueError("sketches must be a 2-D matrix")
         if centers.ndim != 3 or centers.shape[1] != sketches.shape[1]:
             raise ValueError("centers do not match sketch dimensionality")
-        counts = self._match_counts(sketches, centers)
+        tier = self._resolve_tier(sketches, centers.shape[0])
+        counts = self._match_counts(sketches, centers, tier)
         return np.argmax(counts, axis=1).astype(np.int64)
 
     def fit(self, sketches: np.ndarray) -> KModesResult:
@@ -190,23 +205,29 @@ class CompositeKModes:
         centers = np.full((K, k, self.top_l), _FILL, dtype=np.uint64)
         centers[:, :, 0] = sketches[chosen]
 
+        # Resolve the tier once per fit: the matcher dispatches on it,
+        # and centre updates run on the batched sort kernel for every
+        # non-reference tier (they execute once per iteration, not once
+        # per row — the native tier only compiles the matcher).
+        tier = self._resolve_tier(sketches, K)
+
         # The sketch matrix never changes across iterations, so the
         # batched path factorises it once (per-attribute dense codes)
         # and every centre update is a bincount/scatter-min over keys.
-        if self.kernel == "batched":
+        if tier != "reference":
             codes, col_offsets, all_values = factorize_columns(sketches)
 
         labels = np.full(n, -1, dtype=np.int64)
         converged = False
         iterations = 0
         for iterations in range(1, self.max_iter + 1):
-            counts = self._match_counts(sketches, centers)
+            counts = self._match_counts(sketches, centers, tier)
             new_labels = np.argmax(counts, axis=1).astype(np.int64)
             if np.array_equal(new_labels, labels):
                 converged = True
                 break
             labels = new_labels
-            if self.kernel == "batched":
+            if tier != "reference":
                 centers = top_l_centers(
                     codes,
                     col_offsets,
@@ -220,7 +241,7 @@ class CompositeKModes:
             else:
                 centers = self._update_centers_reference(sketches, labels, centers)
 
-        final_counts = self._match_counts(sketches, centers)
+        final_counts = self._match_counts(sketches, centers, tier)
         matched = final_counts[np.arange(n), labels]
         cost = float(np.sum(k - matched))
         return KModesResult(

@@ -32,6 +32,7 @@ from repro.perf.minhash_kernels import (
     sketch_batch,
 )
 from repro.perf.kmodes_kernels import similarity_matrix_blocked
+from repro.perf import autotune
 from repro.stratify.pivots import UNIVERSE_SIZE
 
 #: Smallest prime exceeding the 2**32 pivot universe.
@@ -104,17 +105,23 @@ class MinHasher:
         ``(m, k)`` block in ``sketch_all``, the ``(rows, n, k)`` block
         in ``similarity_matrix``). Purely a speed/memory knob — results
         are identical for any positive value.
+    kernel:
+        Tier for :meth:`sketch_all`: ``"auto"`` (shape-dispatched, the
+        default), ``"reference"``, ``"numpy"`` (alias ``"batched"``) or
+        ``"native"``. All tiers are bit-identical.
     """
 
     num_hashes: int = 64
     seed: int = 0
     chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    kernel: str = "auto"
     _a: np.ndarray = field(init=False, repr=False)
     _b: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_hashes <= 0:
             raise ValueError("num_hashes must be positive")
+        autotune.validate_kernel(self.kernel, "minhash")
         rng = np.random.default_rng(self.seed)
         # a must be non-zero mod P for h to be a permutation.
         self._a = rng.integers(1, PRIME, size=self.num_hashes, dtype=np.uint64)
@@ -140,16 +147,29 @@ class MinHasher:
     def sketch_all(self, sets: Sequence[Iterable[int]]) -> np.ndarray:
         """Sketch a dataset; returns an ``(n_items, k)`` uint64 matrix.
 
-        Runs the ragged-batch kernel: one flat concatenation of every
-        set, chunked broadcasted hashing, per-set minima via
-        ``np.minimum.reduceat``. Bit-identical to sketching each set
-        with :meth:`sketch` (see :meth:`sketch_all_reference`).
+        Dispatches on :attr:`kernel` via :mod:`repro.perf.autotune`:
+        the ragged-batch numpy kernel (flat concatenation, chunked
+        broadcasted hashing, ``np.minimum.reduceat``), the compiled
+        native scan, or the per-set reference. Every tier is
+        bit-identical to sketching each set with :meth:`sketch` (see
+        :meth:`sketch_all_reference`).
         """
         if len(sets) == 0:
             return np.empty((0, self.num_hashes), dtype=np.uint64)
         flat, offsets = flatten_sets(sets)
         if flat.size and int(flat.max()) >= UNIVERSE_SIZE:
             raise ValueError("element outside the pivot universe")
+        tier = autotune.resolve_tier(
+            self.kernel, kind="minhash", work=flat.size * self.num_hashes
+        )
+        if tier == "reference":
+            return self.sketch_all_reference(sets)
+        if tier == "native":
+            from repro.perf.native.minhash_njit import sketch_all_native
+
+            return sketch_all_native(
+                flat, offsets, self._a, self._b, prime=PRIME, empty_slot=EMPTY_SLOT
+            )
         return sketch_batch(
             flat,
             offsets,

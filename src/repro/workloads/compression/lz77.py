@@ -18,14 +18,17 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.kvstore.codec import decode_partition, encode_partition
-from repro.perf.lz77_kernels import compress_block
+from repro.perf import autotune
+from repro.perf.lz77_kernels import (
+    build_match_links,
+    compress_block,
+    serialize_tokens,
+)
 from repro.workloads.compression.varint import decode_varint, encode_varint
 
 _MIN_MATCH = 4
 _LITERAL_FLAG = 0
 _MATCH_FLAG = 1
-
-_KERNELS = ("fast", "reference")
 
 
 @dataclass
@@ -59,41 +62,56 @@ class LZ77Codec:
     max_match:
         Longest emitted match.
     kernel:
-        ``"fast"`` runs the precomputed-link coder of
-        :mod:`repro.perf.lz77_kernels`; ``"reference"`` the original
-        hash-chain loop. Blobs and stats are byte-identical.
+        Tier: ``"auto"`` (shape-dispatched, the default), ``"numpy"``
+        (alias ``"fast"``) runs the precomputed-link coder of
+        :mod:`repro.perf.lz77_kernels`, ``"native"`` the compiled scan
+        over the same links, ``"reference"`` the original hash-chain
+        loop. Blobs and stats are byte-identical for every tier.
     """
 
     window: int = 1 << 15
     max_chain: int = 16
     max_match: int = 255
-    kernel: str = "fast"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.window <= 0 or self.max_chain <= 0:
             raise ValueError("window and max_chain must be positive")
         if self.max_match < _MIN_MATCH:
             raise ValueError(f"max_match must be >= {_MIN_MATCH}")
-        if self.kernel not in _KERNELS:
-            raise ValueError(f"kernel must be one of {_KERNELS}")
+        autotune.validate_kernel(self.kernel, "lz77")
 
     def compress(self, data: bytes) -> tuple[bytes, LZ77Stats]:
         """Compress ``data``; returns the token stream and stats."""
-        if self.kernel == "fast":
+        tier = autotune.resolve_tier(self.kernel, kind="lz77", work=len(data))
+        if tier == "reference":
+            return self.compress_reference(data)
+        if tier == "native":
+            from repro.perf.native.lz77_njit import scan_matches_native
+
+            links = build_match_links(data)
+            m_pos, m_dist, m_len, probes = scan_matches_native(
+                data,
+                links,
+                window=self.window,
+                max_chain=self.max_chain,
+                max_match=self.max_match,
+            )
+            blob, counters = serialize_tokens(data, m_pos, m_dist, m_len, probes)
+        else:
             blob, counters = compress_block(
                 data,
                 window=self.window,
                 max_chain=self.max_chain,
                 max_match=self.max_match,
             )
-            return blob, LZ77Stats(
-                input_bytes=len(data),
-                output_bytes=len(blob),
-                matches=counters["matches"],
-                literals=counters["literals"],
-                probes=counters["probes"],
-            )
-        return self.compress_reference(data)
+        return blob, LZ77Stats(
+            input_bytes=len(data),
+            output_bytes=len(blob),
+            matches=counters["matches"],
+            literals=counters["literals"],
+            probes=counters["probes"],
+        )
 
     def compress_reference(self, data: bytes) -> tuple[bytes, LZ77Stats]:
         """Hash-chain reference coder — the fast kernel's oracle."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.perf import autotune
 from repro.perf.lz77_kernels import encode_varints_bytes
 from repro.workloads.compression.varint import (
     decode_varint,
@@ -231,26 +232,31 @@ class WebGraphCodec:
         How many previous lists are candidate references (WebGraph's
         ``W``; 7 is the format's classic default).
     kernel:
-        ``"batched"`` scores reference candidates by computed byte
-        length and varint-encodes the whole partition in one batched
-        call; ``"reference"`` serializes every candidate with
-        per-symbol Python loops. Blobs and stats are byte-identical.
+        ``"auto"`` (default) dispatches on partition size; ``"numpy"``
+        (alias ``"batched"``) scores reference candidates by computed
+        byte length and varint-encodes the whole partition in one
+        batched call; ``"reference"`` serializes every candidate with
+        per-symbol Python loops. There is no native tier — the coder is
+        symbol-stream bookkeeping over Python sets. Blobs and stats are
+        byte-identical.
     """
 
     window: int = 7
-    kernel: str = "batched"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.window < 0:
             raise ValueError("window must be non-negative")
-        if self.kernel not in ("batched", "reference"):
-            raise ValueError("kernel must be 'batched' or 'reference'")
+        autotune.validate_kernel(self.kernel, "webgraph")
 
     def compress(self, adjacency: Sequence[Sequence[int]]) -> tuple[bytes, WebGraphStats]:
         """Compress a partition of sorted adjacency lists."""
-        if self.kernel == "batched":
-            return self._compress_batched(adjacency)
-        return self.compress_reference(adjacency)
+        tier = autotune.resolve_tier(
+            self.kernel, kind="webgraph", work=len(adjacency)
+        )
+        if tier == "reference":
+            return self.compress_reference(adjacency)
+        return self._compress_batched(adjacency)
 
     def _compress_batched(self, adjacency: Sequence[Sequence[int]]) -> tuple[bytes, WebGraphStats]:
         """Symbol-stream coder: byte-identical blob, one batched encode.

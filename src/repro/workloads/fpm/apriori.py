@@ -23,11 +23,10 @@ from repro.perf.fpm_kernels import (
     pack_transactions,
     pattern_supports,
 )
+from repro.perf import autotune
 from repro.workloads.base import Workload, WorkloadResult
 
 Pattern = tuple[int, ...]
-
-_KERNELS = ("bitmap", "reference")
 
 
 @dataclass
@@ -54,31 +53,37 @@ class AprioriMiner:
     max_len:
         Optional cap on pattern length (None = unbounded).
     kernel:
-        ``"bitmap"`` counts candidates on the packed vertical bitmaps
-        of :mod:`repro.perf.fpm_kernels`; ``"reference"`` runs the
-        original per-transaction containment scan. Outputs (supports,
-        candidate counts, work units) are bit-identical.
+        Counting tier: ``"auto"`` (shape-dispatched, the default),
+        ``"numpy"`` (alias ``"bitmap"``) counts candidates on the
+        packed vertical bitmaps of :mod:`repro.perf.fpm_kernels`,
+        ``"native"`` on the compiled popcount loops, ``"reference"``
+        runs the original per-transaction containment scan. Outputs
+        (supports, candidate counts, work units) are bit-identical.
     """
 
     min_support: float
     max_len: int | None = None
-    kernel: str = "bitmap"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
         if self.max_len is not None and self.max_len < 1:
             raise ValueError("max_len must be >= 1")
-        if self.kernel not in _KERNELS:
-            raise ValueError(f"kernel must be one of {_KERNELS}")
+        autotune.validate_kernel(self.kernel, "fpm")
 
     def mine(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
         """Mine all frequent itemsets of ``transactions``."""
-        if self.kernel == "bitmap":
-            return self._mine_bitmap(transactions)
-        return self.mine_reference(transactions)
+        tier = autotune.resolve_tier(
+            self.kernel, kind="fpm", work=len(transactions)
+        )
+        if tier == "reference":
+            return self.mine_reference(transactions)
+        return self._mine_bitmap(transactions, tier)
 
-    def _mine_bitmap(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
+    def _mine_bitmap(
+        self, transactions: Sequence[Iterable[int]], tier: str = "numpy"
+    ) -> MiningOutput:
         """Levelwise mining over the packed vertical bitmap.
 
         Identical candidate generation (the shared
@@ -87,6 +92,12 @@ class AprioriMiner:
         ``n_tx`` checks per candidate — exactly what the reference scan
         performs — so work units match to the digit.
         """
+        if tier == "native":
+            from repro.perf.native.fpm_njit import candidate_supports_native
+
+            supports_fn = candidate_supports_native
+        else:
+            supports_fn = candidate_supports
         bitmap = pack_transactions(transactions)
         n = bitmap.num_transactions
         if n == 0:
@@ -112,7 +123,7 @@ class AprioriMiner:
                 break
             work += float(n * len(candidates))
             rows = bitmap.rows_for(np.asarray(candidates, dtype=np.int64))
-            supports = candidate_supports(bitmap, rows)
+            supports = supports_fn(bitmap, rows)
             survivors = [
                 (cand, int(c))
                 for cand, c in zip(candidates, supports)
@@ -204,30 +215,35 @@ class AprioriMiner:
 def count_patterns(
     transactions: Sequence[Iterable[int]],
     patterns: Sequence[Pattern],
-    kernel: str = "bitmap",
+    kernel: str = "auto",
 ) -> tuple[dict[Pattern, int], float]:
     """Support counts of explicit ``patterns`` over ``transactions``.
 
     This is the global-pruning scan of Savasere's algorithm. Returns the
-    counts and the containment-check work performed. ``kernel="bitmap"``
-    packs the partition once and counts every pattern via popcount over
-    ANDed item rows; patterns naming items this partition never saw
-    count 0, as in the reference scan.
+    counts and the containment-check work performed. The bitmap tiers
+    (``"numpy"``/``"bitmap"``, ``"native"``) pack the partition once and
+    count every pattern via popcount over ANDed item rows; patterns
+    naming items this partition never saw count 0, as in the reference
+    scan.
     """
-    if kernel not in _KERNELS:
-        raise ValueError(f"kernel must be one of {_KERNELS}")
-    if kernel == "bitmap":
-        pats = list(patterns)
-        bitmap = pack_transactions(transactions)
-        supports = pattern_supports(bitmap, pats)
-        # A pattern listed m times is incremented m times per matching
-        # transaction by the reference scan; mirror that exactly.
-        multiplicity: dict[Pattern, int] = defaultdict(int)
-        for p in pats:
-            multiplicity[p] += 1
-        counts = {p: supports[p] * m for p, m in multiplicity.items()}
-        return counts, float(bitmap.num_transactions * len(pats))
-    return count_patterns_reference(transactions, patterns)
+    tier = autotune.resolve_tier(kernel, kind="fpm", work=len(transactions))
+    if tier == "reference":
+        return count_patterns_reference(transactions, patterns)
+    supports_fn = None
+    if tier == "native":
+        from repro.perf.native.fpm_njit import candidate_supports_native
+
+        supports_fn = candidate_supports_native
+    pats = list(patterns)
+    bitmap = pack_transactions(transactions)
+    supports = pattern_supports(bitmap, pats, supports=supports_fn)
+    # A pattern listed m times is incremented m times per matching
+    # transaction by the reference scan; mirror that exactly.
+    multiplicity: dict[Pattern, int] = defaultdict(int)
+    for p in pats:
+        multiplicity[p] += 1
+    counts = {p: supports[p] * m for p, m in multiplicity.items()}
+    return counts, float(bitmap.num_transactions * len(pats))
 
 
 def count_patterns_reference(
@@ -257,7 +273,7 @@ class AprioriWorkload(Workload):
     name = "apriori-local"
 
     def __init__(
-        self, min_support: float, max_len: int | None = None, kernel: str = "bitmap"
+        self, min_support: float, max_len: int | None = None, kernel: str = "auto"
     ):
         self.miner = AprioriMiner(min_support=min_support, max_len=max_len, kernel=kernel)
 
@@ -296,14 +312,13 @@ class CandidateCountWorkload(Workload):
         candidates: Sequence[Pattern],
         min_support: float,
         total_transactions: int,
-        kernel: str = "bitmap",
+        kernel: str = "auto",
     ):
         if total_transactions <= 0:
             raise ValueError("total_transactions must be positive")
         if not 0.0 < min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
-        if kernel not in _KERNELS:
-            raise ValueError(f"kernel must be one of {_KERNELS}")
+        autotune.validate_kernel(kernel, "fpm")
         self.candidates = sorted(set(candidates))
         self.min_support = min_support
         self.total_transactions = total_transactions

@@ -15,40 +15,52 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.perf.fpm_kernels import intersect_supports, pack_transactions
+from repro.perf import autotune
 from repro.workloads.base import Workload, WorkloadResult
-from repro.workloads.fpm.apriori import _KERNELS, MiningOutput, Pattern
+from repro.workloads.fpm.apriori import MiningOutput, Pattern
 
 
 @dataclass
 class EclatMiner:
     """Configured Eclat miner (equivalent output to :class:`AprioriMiner`).
 
-    ``kernel="bitmap"`` keeps tidlists as packed uint64 bitmaps and
-    batches every DFS node's extension intersections into one
-    ``np.bitwise_and`` + popcount; ``kernel="reference"`` is the
-    original frozenset DFS. Traversal order, candidate counts and work
-    units are identical.
+    The bitmap tiers (``"numpy"``/``"bitmap"``, ``"native"``) keep
+    tidlists as packed uint64 bitmaps and batch every DFS node's
+    extension intersections — one ``np.bitwise_and`` + popcount, or the
+    compiled word loop; ``kernel="reference"`` is the original
+    frozenset DFS. ``"auto"`` (default) dispatches on input shape.
+    Traversal order, candidate counts and work units are identical.
     """
 
     min_support: float
     max_len: int | None = None
-    kernel: str = "bitmap"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_support <= 1.0:
             raise ValueError("min_support must be in (0, 1]")
         if self.max_len is not None and self.max_len < 1:
             raise ValueError("max_len must be >= 1")
-        if self.kernel not in _KERNELS:
-            raise ValueError(f"kernel must be one of {_KERNELS}")
+        autotune.validate_kernel(self.kernel, "fpm")
 
     def mine(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
         """Mine all frequent itemsets via DFS tidlist intersection."""
-        if self.kernel == "bitmap":
-            return self._mine_bitmap(transactions)
-        return self.mine_reference(transactions)
+        tier = autotune.resolve_tier(
+            self.kernel, kind="fpm", work=len(transactions)
+        )
+        if tier == "reference":
+            return self.mine_reference(transactions)
+        return self._mine_bitmap(transactions, tier)
 
-    def _mine_bitmap(self, transactions: Sequence[Iterable[int]]) -> MiningOutput:
+    def _mine_bitmap(
+        self, transactions: Sequence[Iterable[int]], tier: str = "numpy"
+    ) -> MiningOutput:
+        if tier == "native":
+            from repro.perf.native.fpm_njit import intersect_supports_native
+
+            intersect_fn = intersect_supports_native
+        else:
+            intersect_fn = intersect_supports
         bitmap = pack_transactions(transactions)
         n = bitmap.num_transactions
         if n == 0:
@@ -79,7 +91,7 @@ class EclatMiner:
                 continue
             candidates += len(extensions)
             ext_rows = np.array([item_row[e] for e in extensions], dtype=np.int64)
-            inter, counts = intersect_supports(tids, ext_rows, bitmap)
+            inter, counts = intersect_fn(tids, ext_rows, bitmap)
             work += float(
                 sum(min(tids_support, item_support[e]) for e in extensions)
             )
@@ -156,7 +168,7 @@ class EclatWorkload(Workload):
     name = "eclat-local"
 
     def __init__(
-        self, min_support: float, max_len: int | None = None, kernel: str = "bitmap"
+        self, min_support: float, max_len: int | None = None, kernel: str = "auto"
     ):
         self.miner = EclatMiner(min_support=min_support, max_len=max_len, kernel=kernel)
 

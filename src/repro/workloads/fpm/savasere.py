@@ -63,9 +63,10 @@ class SavasereJob:
     engine: ExecutionEngine
     min_support: float
     max_len: int | None = None
-    #: Kernel for both phases: ``"bitmap"`` (packed vertical bitmaps)
-    #: or ``"reference"`` — outputs are bit-identical either way.
-    kernel: str = "bitmap"
+    #: Kernel for both phases: ``"auto"`` (shape-dispatched), a bitmap
+    #: tier (``"numpy"``/``"bitmap"``, ``"native"``) or ``"reference"``
+    #: — outputs are bit-identical whichever tier runs.
+    kernel: str = "auto"
 
     def run(
         self,

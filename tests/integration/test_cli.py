@@ -71,6 +71,35 @@ class TestCommands:
         assert rc == 0
         assert "compression_ratio" in capsys.readouterr().out
 
+    def test_compare_trace_writes_metrics_sidecar(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.trace.jsonl"
+        rc = main(
+            [
+                "compare",
+                "--dataset",
+                "rcv1",
+                "--scale",
+                "0.25",
+                "--support",
+                "0.2",
+                "--partitions",
+                "4",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        sidecar = tmp_path / "run.trace.jsonl.metrics.json"
+        assert sidecar.exists()
+        snapshot = json.loads(sidecar.read_text(encoding="utf-8"))
+        # The miners ran through the autotuner, so dispatch counters exist.
+        assert any(k.startswith("repro_kernel_dispatch_total{") for k in snapshot)
+        assert main(["obs", "report", str(trace)]) == 0
+        assert "kernel tier dispatch" in capsys.readouterr().out
+
     def test_frontier(self, capsys):
         rc = main(
             [

@@ -1,5 +1,6 @@
 """Report rendering + the ``repro obs report`` CLI command."""
 
+import json
 from typing import Sequence
 
 import pytest
@@ -9,6 +10,7 @@ from repro.cli import main
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.engines import SimulatedEngine
 from repro.obs.report import (
+    kernel_dispatch_table,
     node_table,
     render_report,
     report_from_file,
@@ -76,6 +78,50 @@ class TestRender:
     def test_render_empty_trace(self):
         text = render_report([])
         assert "0 spans" in text
+
+
+_SNAPSHOT = {
+    'repro_kernel_dispatch_total{kernel="minhash",tier="numpy"}': {
+        "type": "counter",
+        "value": 7,
+    },
+    'repro_kernel_dispatch_total{kernel="fpm",tier="native"}': {
+        "type": "counter",
+        "value": 2,
+    },
+    'repro_other_metric_total{x="y"}': {"type": "counter", "value": 9},
+}
+
+
+class TestKernelDispatch:
+    def test_table_parses_dispatch_counters_only(self):
+        rows = kernel_dispatch_table(_SNAPSHOT)
+        assert rows == [
+            {"kernel": "fpm", "tier": "native", "count": 2},
+            {"kernel": "minhash", "tier": "numpy", "count": 7},
+        ]
+
+    def test_render_includes_dispatch_section(self, trace_path):
+        _meta, spans = obs.read_spans(trace_path)
+        text = render_report(spans, metrics=_SNAPSHOT)
+        assert "kernel tier dispatch" in text
+        assert "minhash" in text
+
+    def test_report_from_file_discovers_sidecar(self, trace_path):
+        sidecar = trace_path.parent / (trace_path.name + ".metrics.json")
+        sidecar.write_text(json.dumps(_SNAPSHOT), encoding="utf-8")
+        text = report_from_file(trace_path)
+        assert "kernel tier dispatch" in text
+        assert "native" in text
+
+    def test_report_without_sidecar_omits_section(self, trace_path):
+        assert "kernel tier dispatch" not in report_from_file(trace_path)
+
+    def test_malformed_sidecar_is_ignored(self, trace_path):
+        sidecar = trace_path.parent / (trace_path.name + ".metrics.json")
+        sidecar.write_text("{broken", encoding="utf-8")
+        text = report_from_file(trace_path)
+        assert "kernel tier dispatch" not in text
 
 
 class TestCli:

@@ -1,0 +1,187 @@
+"""Behavioral tests for the shape-aware kernel autotuner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.perf import autotune
+from repro.perf.native import runtime
+from repro.stratify.kmodes import CompositeKModes
+from repro.stratify.minhash import MinHasher
+from repro.workloads.compression.lz77 import LZ77Codec
+from repro.workloads.compression.webgraph import WebGraphCodec
+from repro.workloads.fpm.apriori import AprioriMiner
+from repro.workloads.fpm.eclat import EclatMiner
+
+
+@pytest.fixture
+def native_available(monkeypatch):
+    monkeypatch.setattr(runtime, "numba_available", lambda: True)
+
+
+@pytest.fixture
+def native_missing(monkeypatch):
+    monkeypatch.setattr(runtime, "numba_available", lambda: False)
+    autotune._log_native_unavailable.cache_clear()
+    yield
+    autotune._log_native_unavailable.cache_clear()
+
+
+class TestAliasesAndValidation:
+    @pytest.mark.parametrize(
+        "legacy,canonical",
+        [("batched", "numpy"), ("bitmap", "numpy"), ("fast", "numpy")],
+    )
+    def test_legacy_aliases_map_to_numpy(self, legacy, canonical):
+        assert autotune.canonical_kernel(legacy) == canonical
+
+    def test_canonical_names_pass_through(self):
+        for name in autotune.TIERS + (autotune.AUTO,):
+            assert autotune.canonical_kernel(name) == name
+
+    @pytest.mark.parametrize("kind", sorted(autotune.KIND_TIERS))
+    def test_unknown_kernel_rejected(self, kind):
+        with pytest.raises(ValueError):
+            autotune.validate_kernel("gpu", kind)
+
+    def test_native_rejected_for_kinds_without_native_tier(self):
+        with pytest.raises(ValueError):
+            autotune.validate_kernel("native", "webgraph")
+
+    def test_constructors_validate_eagerly(self):
+        with pytest.raises(ValueError):
+            MinHasher(kernel="magic")
+        with pytest.raises(ValueError):
+            CompositeKModes(kernel="magic")
+        with pytest.raises(ValueError):
+            AprioriMiner(min_support=0.5, kernel="magic")
+        with pytest.raises(ValueError):
+            EclatMiner(min_support=0.5, kernel="magic")
+        with pytest.raises(ValueError):
+            LZ77Codec(kernel="magic")
+        with pytest.raises(ValueError):
+            WebGraphCodec(kernel="magic")
+
+
+class TestShapeDispatch:
+    def test_explicit_tier_always_wins(self, native_available):
+        assert autotune.resolve_tier("reference", kind="minhash", work=10**9) == "reference"
+        assert autotune.resolve_tier("batched", kind="minhash", work=0) == "numpy"
+        assert autotune.resolve_tier("native", kind="minhash", work=0) == "native"
+
+    def test_small_work_goes_reference(self):
+        for kind, threshold in autotune.SMALL_WORK.items():
+            assert (
+                autotune.resolve_tier("auto", kind=kind, work=threshold - 1)
+                == "reference"
+            )
+
+    def test_large_work_prefers_native_when_available(self, native_available):
+        assert autotune.resolve_tier("auto", kind="fpm", work=10**6) == "native"
+
+    def test_large_work_numpy_when_native_missing(self, native_missing):
+        assert autotune.resolve_tier("auto", kind="fpm", work=10**6) == "numpy"
+
+    def test_webgraph_never_native(self, native_available):
+        assert autotune.resolve_tier("auto", kind="webgraph", work=10**6) == "numpy"
+
+
+class TestEnvPin:
+    def test_env_pins_auto(self, monkeypatch, native_available):
+        monkeypatch.setenv(autotune.ENV_TIER, "reference")
+        assert autotune.resolve_tier("auto", kind="minhash", work=10**9) == "reference"
+
+    def test_env_accepts_legacy_alias(self, monkeypatch):
+        monkeypatch.setenv(autotune.ENV_TIER, "batched")
+        assert autotune.resolve_tier("auto", kind="lz77", work=1) == "numpy"
+
+    def test_env_does_not_override_explicit_kernel(self, monkeypatch):
+        monkeypatch.setenv(autotune.ENV_TIER, "reference")
+        assert autotune.resolve_tier("numpy", kind="minhash", work=10**9) == "numpy"
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(autotune.ENV_TIER, "turbo")
+        with pytest.raises(ValueError):
+            autotune.resolve_tier("auto", kind="minhash", work=10**9)
+
+    def test_pin_of_missing_tier_is_ignored_for_that_kind(self, monkeypatch, native_available):
+        # webgraph has no native tier; the pin falls back to the shape choice.
+        monkeypatch.setenv(autotune.ENV_TIER, "native")
+        assert autotune.resolve_tier("auto", kind="webgraph", work=10**6) == "numpy"
+
+
+class TestSeedMeasurements:
+    def test_seed_file_ranks_tiers(self, tmp_path, monkeypatch, native_available):
+        seeds = {
+            "apriori_mine": {"tiers": {"reference": 9.0, "numpy": 0.1, "native": 0.5}}
+        }
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps(seeds), encoding="utf-8")
+        monkeypatch.setenv(autotune.ENV_SEEDS, str(path))
+        autotune.seed_measurements.cache_clear()
+        try:
+            # Measurements say numpy beats native here: auto must obey.
+            assert autotune.resolve_tier("auto", kind="fpm", work=10**6) == "numpy"
+            # Other kinds have no seeds and keep the native default.
+            assert autotune.resolve_tier("auto", kind="lz77", work=10**6) == "native"
+        finally:
+            autotune.seed_measurements.cache_clear()
+
+    def test_malformed_seed_file_is_ignored(self, tmp_path, monkeypatch, native_available):
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text("{not json", encoding="utf-8")
+        monkeypatch.setenv(autotune.ENV_SEEDS, str(path))
+        autotune.seed_measurements.cache_clear()
+        try:
+            assert autotune.resolve_tier("auto", kind="fpm", work=10**6) == "native"
+        finally:
+            autotune.seed_measurements.cache_clear()
+
+
+class TestDispatchCounters:
+    def test_counter_incremented_per_resolution(self):
+        obs.enable()
+        obs.reset()
+        try:
+            autotune.resolve_tier("reference", kind="kmodes", work=1)
+            autotune.resolve_tier("reference", kind="kmodes", work=1)
+            autotune.resolve_tier("batched", kind="kmodes", work=1)
+            snap = obs.metrics_snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        ref_key = 'repro_kernel_dispatch_total{kernel="kmodes",tier="reference"}'
+        np_key = 'repro_kernel_dispatch_total{kernel="kmodes",tier="numpy"}'
+        assert snap[ref_key]["value"] == 2
+        assert snap[np_key]["value"] == 1
+
+    def test_no_counters_when_obs_disabled(self):
+        obs.reset()
+        autotune.resolve_tier("reference", kind="kmodes", work=1)
+        assert obs.metrics_snapshot() == {}
+
+
+class TestAutoEndToEnd:
+    def test_auto_default_used_by_workloads(self):
+        # Small inputs resolve to reference; results must still match
+        # the explicit numpy tier bit-for-bit.
+        rng = np.random.default_rng(0)
+        sets = [
+            rng.integers(0, 2**32, size=4).astype(np.uint64) for _ in range(3)
+        ]
+        hasher_auto = MinHasher(num_hashes=8, seed=9)
+        assert hasher_auto.kernel == "auto"
+        assert np.array_equal(
+            hasher_auto.sketch_all(sets),
+            MinHasher(num_hashes=8, seed=9, kernel="numpy").sketch_all(sets),
+        )
+        codec = LZ77Codec()
+        assert codec.kernel == "auto"
+        data = b"tiny"
+        assert codec.compress(data) == LZ77Codec(kernel="reference").compress(data)
+        assert WebGraphCodec().kernel == "auto"
+        assert AprioriMiner(min_support=0.5).kernel == "auto"
+        assert EclatMiner(min_support=0.5).kernel == "auto"
+        assert CompositeKModes().kernel == "auto"

@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint bench bench-kernels bench-pipeline obs-smoke examples results clean
+.PHONY: install test lint bench bench-kernels bench-pipeline bench-service obs-smoke serve examples results clean
 
 install:
 	python setup.py develop
@@ -24,6 +24,14 @@ bench-kernels:
 bench-pipeline:
 	PYTHONPATH=src python benchmarks/bench_pipeline.py
 	cp benchmarks/results/BENCH_pipeline.json BENCH_pipeline.json
+
+# Open-loop load harness for the job service; SMOKE=1 runs CI sizes.
+bench-service:
+	PYTHONPATH=src python benchmarks/bench_service.py $(if $(SMOKE),--smoke)
+	cp benchmarks/results/BENCH_service.json BENCH_service.json
+
+serve:
+	PYTHONPATH=src python -m repro serve --metrics
 
 obs-smoke:
 	PYTHONPATH=src python benchmarks/obs_smoke.py

@@ -1,0 +1,357 @@
+"""Open-loop load benchmark for the always-on partition job service.
+
+Drives a real :func:`repro.service.build_service` deployment — process
+engine, shared-memory dataplane, stdlib HTTP front end — over its HTTP
+API with two phases:
+
+- **load**: Poisson arrivals (seeded exponential inter-arrival gaps) of
+  a mixed scenario batch — two apriori operating points, a webgraph
+  compression job, an alpha sweep — at a rate the configured
+  concurrency can sustain. Submission is open-loop: arrivals fire on
+  schedule whether or not earlier jobs finished, like real tenants.
+- **overload**: an instantaneous burst of more submissions than
+  ``max_queue_depth`` can hold, which must produce explicit 429
+  rejections with retry-after hints (bounded queue, not latency
+  collapse).
+
+The harness records throughput, p50/p99 queue-wait/run/end-to-end
+latency, rejection rate, and the service's energy totals, and proves
+the service's accounting invariants:
+
+- **zero dropped**: every submission got an HTTP answer (202 or 429);
+- **bounded queue**: observed peak depth never exceeds the configured
+  maximum;
+- **energy reconciliation**: summed per-job energy from results equals
+  the obs trace's :func:`~repro.obs.energy.energy_split` within 1e-6 —
+  the service's billing view and the trace's attribution agree.
+
+Results land in ``benchmarks/results/BENCH_service.json``. Runs
+standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--out PATH]
+
+or as part of the benchmark suite::
+
+    pytest benchmarks/bench_service.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import threading
+import time
+
+import numpy as np
+
+import repro.obs as obs
+from repro.obs.energy import energy_split
+from repro.service import ServiceConfig, build_service
+from repro.service.client import ServiceClient
+
+FULL = {
+    "arrival_rate_hz": 4.0,
+    "num_arrivals": 32,
+    "size_scale": 0.08,
+    "concurrency": 2,
+    "max_queue_depth": 16,
+    "per_tenant_inflight": 16,
+    "overload_burst": 32,
+    "num_nodes": 4,
+    "max_workers": 4,
+    "seed": 23,
+}
+SMOKE = {
+    "arrival_rate_hz": 6.0,
+    "num_arrivals": 8,
+    "size_scale": 0.04,
+    "concurrency": 2,
+    "max_queue_depth": 6,
+    "per_tenant_inflight": 12,
+    "overload_burst": 14,
+    "num_nodes": 4,
+    "max_workers": 2,
+    "seed": 23,
+}
+
+#: The mixed-scenario batch: repeat operating points over shared
+#: datasets, so the run also exercises the scenario/dataplane caches.
+def _scenario_mix(size_scale: float) -> list[dict]:
+    return [
+        {"workload": "apriori", "dataset": "rcv1", "support": 0.2,
+         "size_scale": size_scale, "tenant": "miner-a"},
+        {"workload": "apriori", "dataset": "rcv1", "support": 0.2,
+         "alpha": 0.99, "size_scale": size_scale, "tenant": "miner-a"},
+        {"workload": "eclat", "dataset": "rcv1", "support": 0.3,
+         "size_scale": size_scale, "tenant": "miner-b"},
+        {"workload": "webgraph", "dataset": "uk",
+         "size_scale": size_scale, "tenant": "compressor"},
+    ]
+
+
+def _quantiles(values: list[float]) -> dict:
+    if not values:
+        return {"count": 0, "mean": None, "p50": None, "p99": None}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+def _submit_open_loop(client: ServiceClient, specs: list[dict], gaps: list[float]):
+    """Fire each spec at its scheduled arrival; collect every response.
+
+    Submissions run on their own threads so a slow HTTP exchange never
+    delays the arrival process (the open-loop property).
+    """
+    responses: list = [None] * len(specs)
+    threads = []
+
+    def fire(i: int) -> None:
+        responses[i] = client.submit(specs[i])
+
+    for i, gap in enumerate(gaps):
+        time.sleep(gap)
+        t = threading.Thread(target=fire, args=(i,))
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join(timeout=30.0)
+    return responses
+
+
+def run_service_bench(cfg: dict) -> dict:
+    rng = np.random.default_rng(cfg["seed"])
+    mix = _scenario_mix(cfg["size_scale"])
+
+    obs.enable()
+    obs.reset()
+    service = build_service(
+        engine="process",
+        num_nodes=cfg["num_nodes"],
+        max_workers=cfg["max_workers"],
+        port=0,
+        config=ServiceConfig(
+            max_queue_depth=cfg["max_queue_depth"],
+            concurrency=cfg["concurrency"],
+            per_tenant_inflight=cfg["per_tenant_inflight"],
+            result_ttl_s=600.0,
+        ),
+    )
+    try:
+        with service:
+            client = ServiceClient(service.url, timeout_s=30.0)
+            # Warm the scenario caches so the measured phase reflects
+            # steady-state service behaviour, not one-time prepares.
+            # Warm jobs run with obs on, so their energy belongs in the
+            # reconciliation sum like every other job's.
+            warm_finals = []
+            for spec in mix:
+                resp = client.submit(spec)
+                if resp.status == 202:
+                    warm_finals.append(
+                        client.wait(resp.body["job_id"], timeout_s=300.0).body
+                    )
+
+            # -- load phase: Poisson arrivals of the mixed batch -------
+            n = cfg["num_arrivals"]
+            specs = [mix[i] for i in rng.integers(0, len(mix), size=n)]
+            gaps = list(rng.exponential(1.0 / cfg["arrival_rate_hz"], size=n))
+            t0 = time.perf_counter()
+            load_responses = _submit_open_loop(client, specs, gaps)
+            load = _settle(client, load_responses)
+            load["duration_s"] = time.perf_counter() - t0
+            load["offered_rate_hz"] = n / sum(gaps)
+
+            # -- overload phase: burst past the bounded queue ----------
+            burst_spec = dict(mix[0])
+            over_responses = _submit_open_loop(
+                client, [burst_spec] * cfg["overload_burst"],
+                [0.0] * cfg["overload_burst"],
+            )
+            overload = _settle(client, over_responses)
+
+            stats = service.manager.stats()
+            audit = service.executor.dataplane_audit()
+            scenarios = service.executor.scenarios_prepared
+
+        # Context exit drained the manager and closed the engine; the
+        # trace now holds every task.execute span the service emitted.
+        spans = obs.get_tracer().finished_spans()
+        split = energy_split(spans)
+        metrics = obs.metrics_snapshot()
+    finally:
+        obs.disable()
+        obs.reset()
+
+    warm_ok = [f for f in warm_finals if f.get("state") == "SUCCEEDED"]
+    succeeded_energy = (
+        sum(f["result"]["total_energy_j"] for f in warm_ok)
+        + load["energy"]["energy_j"]
+        + overload["energy"]["energy_j"]
+    )
+    succeeded_dirty = (
+        sum(f["result"]["total_dirty_energy_j"] for f in warm_ok)
+        + load["energy"]["dirty_energy_j"]
+        + overload["energy"]["dirty_energy_j"]
+    )
+    return {
+        "config": dict(cfg),
+        "load": load,
+        "overload": overload,
+        "service_stats": stats,
+        "dataplane": audit,
+        "scenarios_prepared": scenarios,
+        "energy_reconciliation": {
+            "results_energy_j": succeeded_energy,
+            "trace_energy_j": split["energy_j"],
+            "abs_error_j": abs(succeeded_energy - split["energy_j"]),
+            "results_dirty_energy_j": succeeded_dirty,
+            "trace_dirty_energy_j": split["dirty_energy_j"],
+            "abs_dirty_error_j": abs(succeeded_dirty - split["dirty_energy_j"]),
+        },
+        "obs": {
+            "span_count": len(spans),
+            "service_metric_series": sorted(
+                k for k in metrics if k.startswith("repro_service_")
+            ),
+        },
+    }
+
+
+def _settle(client: ServiceClient, responses: list) -> dict:
+    """Wait out every accepted job; fold one phase's numbers."""
+    answered = [r for r in responses if r is not None]
+    accepted = [r for r in answered if r.status == 202]
+    rejected = [r for r in answered if r.status == 429]
+    finals = [
+        client.wait(r.body["job_id"], timeout_s=600.0).body for r in accepted
+    ]
+    succeeded = [f for f in finals if f.get("state") == "SUCCEEDED"]
+    unresolved = [f for f in finals if f.get("state") == "RUNNING"]
+    retry_hints = [r.retry_after_s for r in rejected if r.retry_after_s]
+    end_to_end = [
+        (f.get("queue_wait_s") or 0.0) + (f.get("run_s") or 0.0) for f in succeeded
+    ]
+    return {
+        "arrivals": len(responses),
+        "answered": len(answered),
+        "accepted": len(accepted),
+        "rejected": len(rejected),
+        "rejection_rate": len(rejected) / len(answered) if answered else 0.0,
+        "succeeded": len(succeeded),
+        "failed": len(finals) - len(succeeded) - len(unresolved),
+        "queue_wait_s": _quantiles([f.get("queue_wait_s") or 0.0 for f in succeeded]),
+        "run_s": _quantiles([f.get("run_s") or 0.0 for f in succeeded]),
+        "end_to_end_s": _quantiles(end_to_end),
+        "retry_after_hints_s": _quantiles([float(h) for h in retry_hints]),
+        "energy": {
+            "energy_j": sum(f["result"]["total_energy_j"] for f in succeeded),
+            "dirty_energy_j": sum(
+                f["result"]["total_dirty_energy_j"] for f in succeeded
+            ),
+            "green_energy_j": sum(f["result"]["green_energy_j"] for f in succeeded),
+        },
+    }
+
+
+def _render(results: dict) -> str:
+    load, over = results["load"], results["overload"]
+    rec = results["energy_reconciliation"]
+    lines = [
+        "open-loop service benchmark",
+        f"load phase: {load['arrivals']} arrivals at "
+        f"{load['offered_rate_hz']:.2f}/s offered -> "
+        f"{load['succeeded']} succeeded, {load['rejected']} rejected "
+        f"({load['rejection_rate'] * 100:.0f}%) in {load['duration_s']:.2f}s "
+        f"({load['succeeded'] / load['duration_s']:.2f} jobs/s goodput)",
+        f"  queue wait  p50 {load['queue_wait_s']['p50']:.3f}s  "
+        f"p99 {load['queue_wait_s']['p99']:.3f}s",
+        f"  run         p50 {load['run_s']['p50']:.3f}s  "
+        f"p99 {load['run_s']['p99']:.3f}s",
+        f"  end-to-end  p50 {load['end_to_end_s']['p50']:.3f}s  "
+        f"p99 {load['end_to_end_s']['p99']:.3f}s",
+        f"overload phase: {over['arrivals']} burst arrivals -> "
+        f"{over['accepted']} accepted, {over['rejected']} rejected "
+        f"({over['rejection_rate'] * 100:.0f}%), retry hints "
+        f"p50 {over['retry_after_hints_s']['p50']:.3f}s"
+        if over["retry_after_hints_s"]["count"]
+        else f"overload phase: {over['arrivals']} arrivals, "
+        f"{over['rejected']} rejected",
+        f"queue depth peak {results['service_stats']['peak_queue_depth']} "
+        f"(bound {results['config']['max_queue_depth']}); "
+        f"{results['scenarios_prepared']} scenarios prepared; dataplane "
+        f"{results['dataplane']['identity_hits']} identity + "
+        f"{results['dataplane']['digest_hits']} digest hits",
+        f"energy: results {rec['results_energy_j']:.3f} J vs trace "
+        f"{rec['trace_energy_j']:.3f} J (|err| {rec['abs_error_j']:.2e} J)",
+    ]
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> None:
+    """The invariants the harness exists to prove."""
+    load, over, cfg = results["load"], results["overload"], results["config"]
+    # Zero dropped-with-no-response: every arrival was answered 202/429.
+    assert load["answered"] == load["arrivals"], load
+    assert over["answered"] == over["arrivals"], over
+    # Every accepted job reached a terminal state before shutdown.
+    assert load["succeeded"] + load["failed"] == load["accepted"], load
+    assert over["succeeded"] + over["failed"] == over["accepted"], over
+    assert load["failed"] == 0 and over["failed"] == 0, (load, over)
+    # Overload must reject explicitly, with usable retry hints.
+    assert over["rejected"] > 0, over
+    assert over["retry_after_hints_s"]["p50"] > 0, over
+    # The queue stayed bounded through the burst.
+    assert (
+        results["service_stats"]["peak_queue_depth"] <= cfg["max_queue_depth"]
+    ), results["service_stats"]
+    # Repeat scenarios rode the shared dataplane caches.
+    assert (
+        results["dataplane"]["identity_hits"] + results["dataplane"]["digest_hits"]
+        > 0
+    ), results["dataplane"]
+    # Energy accounting: service results equal trace attribution.
+    rec = results["energy_reconciliation"]
+    assert rec["abs_error_j"] <= 1e-6, rec
+    assert rec["abs_dirty_error_j"] <= 1e-6, rec
+    assert rec["results_energy_j"] > 0, rec
+    # The service's own telemetry made it into the metrics snapshot.
+    series = results["obs"]["service_metric_series"]
+    assert any(s.startswith("repro_service_rejected_total") for s in series), series
+    assert "repro_service_queue_wait_seconds" in series, series
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI smoke test)")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "results" / "BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+    results = run_service_bench(SMOKE if args.smoke else FULL)
+    _check(results)
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(_render(results))
+    print(f"[saved to {args.out}]")
+
+
+def test_bench_service(benchmark):
+    # Imported lazily so `python benchmarks/bench_service.py` needs no
+    # pytest on the path; the suite run uses smoke sizes to stay quick.
+    from conftest import run_once, save_result
+
+    results = run_once(benchmark, lambda: run_service_bench(SMOKE))
+    save_result("BENCH_service_smoke", _render(results))
+    _check(results)
+
+
+if __name__ == "__main__":
+    main()

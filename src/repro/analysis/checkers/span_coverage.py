@@ -3,9 +3,10 @@
 PR 3's telemetry is only trustworthy if every pipeline stage shows up
 in the trace: an uninstrumented stage is invisible latency and
 unattributed energy. This rule pins the contract — the public stage
-entry points of :mod:`repro.core.framework` and the engine
-``run_job``/``profile`` paths in :mod:`repro.cluster.engines` must
-emit an ``obs`` span.
+entry points of :mod:`repro.core.framework`, the engine
+``run_job``/``profile`` paths in :mod:`repro.cluster.engines`, and the
+job-service ``submit``/``run_record``/``drain`` entry points in
+:mod:`repro.service.manager` must emit an ``obs`` span.
 
 A required function is *covered* when its body contains a span-emitting
 call — ``obs.span(...)``, ``obs.emit(...)``, ``<tracer>.span(...)``,
@@ -32,6 +33,10 @@ DEFAULT_REQUIRED: Mapping[str, frozenset[str]] = {
         {"prepare", "plan", "execute", "execute_fpm", "measure_frontier"}
     ),
     "repro.cluster.engines": frozenset({"run_job", "profile", "profile_all_nodes"}),
+    # The job service's admission/run/drain path: an uninstrumented
+    # submit or run means queue waits and per-job energy never reach
+    # the trace, which defeats the service section of `repro obs report`.
+    "repro.service.manager": frozenset({"submit", "run_record", "drain"}),
 }
 
 _EMITTING_CALLS = {"span", "emit"}

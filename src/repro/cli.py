@@ -20,6 +20,13 @@ Commands
     Run the project-invariant static analysis suite
     (:mod:`repro.analysis`) over source trees. Exit codes: 0 clean,
     1 findings, 2 usage error.
+``serve``
+    Run the always-on partition job service (:mod:`repro.service`) in
+    the foreground: bounded-queue admission, persistent engine pool,
+    HTTP API on ``--host``/``--port``.
+``submit``
+    Submit one job to a running service and (by default) wait for and
+    print its result.
 """
 
 from __future__ import annotations
@@ -228,6 +235,71 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def cmd_serve(args) -> int:
+    import repro.obs as obs
+    from repro.service import ServiceConfig, build_service
+
+    if args.metrics:
+        obs.enable()
+    config = ServiceConfig(
+        max_queue_depth=args.queue_depth,
+        concurrency=args.concurrency,
+        per_tenant_inflight=args.tenant_inflight,
+        result_ttl_s=args.result_ttl,
+    )
+    service = build_service(
+        engine=args.engine,
+        num_nodes=args.nodes,
+        max_workers=args.workers,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        config=config,
+    )
+    print(f"repro service listening on {service.url} (engine={args.engine})")
+    try:
+        service.server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining...")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    spec = {
+        "workload": args.workload,
+        "dataset": args.dataset,
+        "support": args.support,
+        "size_scale": args.scale,
+        "seed": args.seed,
+        "tenant": args.tenant,
+    }
+    if args.alpha is not None:
+        spec["alpha"] = args.alpha
+    resp = client.submit(spec)
+    if resp.rejected:
+        print(
+            f"rejected ({resp.body.get('reject_reason')}): "
+            f"retry after {resp.retry_after_s:.3f}s",
+            file=sys.stderr,
+        )
+        return 1
+    if not resp.ok:
+        print(f"submit failed ({resp.status}): {resp.body}", file=sys.stderr)
+        return 1
+    job_id = resp.body["job_id"]
+    if args.no_wait:
+        print(json.dumps(resp.body, indent=2))
+        return 0
+    final = client.wait(job_id, timeout_s=args.timeout)
+    print(json.dumps(final.body, indent=2))
+    return 0 if final.body.get("state") == "SUCCEEDED" else 1
+
+
 def cmd_reproduce(args) -> int:
     from repro.bench.reproduce import reproduce_all
 
@@ -323,6 +395,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true", help="list the rule catalogue and exit"
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("serve", help="run the partition job service in the foreground")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--engine", choices=("process", "simulated"), default="process",
+        help="execution engine backing the service",
+    )
+    p.add_argument("--nodes", type=int, default=4, help="cluster nodes")
+    p.add_argument(
+        "--workers", type=int, default=None, help="process-pool worker cap"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--concurrency", type=int, default=2, help="jobs running at once"
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=64, help="bounded queue capacity"
+    )
+    p.add_argument(
+        "--tenant-inflight", type=int, default=8,
+        help="per-tenant queued+running cap",
+    )
+    p.add_argument(
+        "--result-ttl", type=float, default=300.0,
+        help="seconds finished results stay retrievable",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="enable observability (spans + /metrics counters)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one job to a running service")
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.add_argument("--workload", choices=_WORKLOADS, default="apriori")
+    p.add_argument("--dataset", choices=DATASET_NAMES, default="rcv1")
+    p.add_argument("--support", type=float, default=0.1)
+    p.add_argument("--alpha", type=float, default=None)
+    p.add_argument("--scale", type=float, default=0.1, help="dataset size scale")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenant", default="default")
+    p.add_argument(
+        "--no-wait", action="store_true", help="print the 202 snapshot and exit"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=120.0, help="submit/wait timeout seconds"
+    )
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
         "reproduce", help="regenerate every paper artefact into a directory"

@@ -43,6 +43,7 @@ import atexit
 import hashlib
 import logging
 import pickle
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -113,6 +114,11 @@ class SharedPartitionStore:
             raise ValueError("cache_limit must be positive (or None for unbounded)")
         self.cache_limit = cache_limit
         self.stats = DataPlaneStats()
+        # One lock serializes publishing against eviction and close, so
+        # concurrent engine callers (the job service runs several worker
+        # threads over one engine) cannot corrupt the LRU/cache maps or
+        # observe a segment unlinked mid-publish.
+        self._lock = threading.RLock()
         # name -> segment; insertion order doubles as LRU order (oldest
         # first) — hits re-append via _touch().
         self._segments: dict[str, shared_memory.SharedMemory] = {}
@@ -169,7 +175,12 @@ class SharedPartitionStore:
 
     def put_many(self, partitions: list) -> list[PartitionRef]:
         """Publish every partition, packing cache misses into one new
-        segment; returns one ref per partition, in order."""
+        segment; returns one ref per partition, in order. Thread-safe:
+        concurrent publishers serialize on the store lock."""
+        with self._lock:
+            return self._put_many_locked(partitions)
+
+    def _put_many_locked(self, partitions: list) -> list[PartitionRef]:
         if self._closed:
             raise RuntimeError("store is closed")
         refs: list[PartitionRef | None] = [None] * len(partitions)
@@ -276,15 +287,17 @@ class SharedPartitionStore:
     def clear_cache(self) -> None:
         """Drop the identity/digest caches (published bytes remain
         readable until :meth:`close`). Unpins cached partitions."""
-        self._by_identity.clear()
-        self._by_digest.clear()
+        with self._lock:
+            self._by_identity.clear()
+            self._by_digest.clear()
 
     def close(self) -> None:
         """Close and unlink every segment. Idempotent and exit-safe."""
-        if self._closed:
-            return
-        self._closed = True
-        segments, self._segments = self._segments, {}
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._segments = self._segments, {}
         self.clear_cache()
         for name, seg in segments.items():
             try:

@@ -23,6 +23,8 @@ from __future__ import annotations
 import abc
 import logging
 import os
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -290,6 +292,18 @@ class SimulatedEngine(ExecutionEngine):
         ]
 
 
+def _worker_ignore_sigint() -> None:
+    """Pool-worker initializer: leave Ctrl-C to the parent.
+
+    A terminal delivers SIGINT to the whole foreground process group; a
+    worker interrupted mid ``call_queue.get()`` prints a traceback and
+    can wedge the queue into a BrokenProcessPool. Workers ignore the
+    signal so only the parent reacts and drains via :meth:`shutdown`
+    (which still SIGTERMs workers if they hang).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _pool_task(
     args: tuple[Workload, Sequence[Any], bool]
 ) -> tuple[WorkloadResult, float, tuple]:
@@ -384,6 +398,11 @@ class ProcessPoolEngine(ExecutionEngine):
         self._pool: ProcessPoolExecutor | None = None
         self._store: SharedPartitionStore | None = None
         self._pools_created = 0
+        # Serializes pool/store creation against teardown and counts
+        # in-flight pool jobs so shutdown(wait=True) can drain before
+        # unlinking shared-memory segments workers may still be reading.
+        self._lifecycle = threading.Condition()
+        self._inflight = 0
 
     @property
     def pools_created(self) -> int:
@@ -395,21 +414,26 @@ class ProcessPoolEngine(ExecutionEngine):
         return self._pools_created
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-            self._pools_created += 1
-            log_event(
-                _log, logging.DEBUG, "engine.pool.created",
-                total=self._pools_created, max_workers=self.max_workers,
-            )
-            if obs.enabled():
-                obs.get_metrics().counter("repro_pool_creations_total").inc()
-        return self._pool
+        with self._lifecycle:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_worker_ignore_sigint,
+                )
+                self._pools_created += 1
+                log_event(
+                    _log, logging.DEBUG, "engine.pool.created",
+                    total=self._pools_created, max_workers=self.max_workers,
+                )
+                if obs.enabled():
+                    obs.get_metrics().counter("repro_pool_creations_total").inc()
+            return self._pool
 
     def _ensure_store(self) -> SharedPartitionStore:
-        if self._store is None or self._store.closed:
-            self._store = SharedPartitionStore(cache_limit=self.cache_limit)
-        return self._store
+        with self._lifecycle:
+            if self._store is None or self._store.closed:
+                self._store = SharedPartitionStore(cache_limit=self.cache_limit)
+            return self._store
 
     @property
     def dataplane_stats(self) -> DataPlaneStats:
@@ -421,11 +445,27 @@ class ProcessPoolEngine(ExecutionEngine):
     def shutdown(self, wait: bool = True) -> None:
         """Release the worker processes and unlink any shared-memory
         segments. Idempotent; the next job after a shutdown
-        transparently builds a fresh pool (and store)."""
-        # Detach the handles before tearing them down so a failure (or
-        # a re-entrant call) can never double-release.
-        pool, self._pool = getattr(self, "_pool", None), None
-        store, self._store = getattr(self, "_store", None), None
+        transparently builds a fresh pool (and store).
+
+        With ``wait=True`` (the default) the call **drains first**: it
+        blocks until every in-flight :meth:`run_job` / :meth:`profile`
+        on other threads has finished, then unlinks — so concurrent
+        callers never observe their segments disappearing mid-fetch.
+        ``wait=False`` tears down immediately (interpreter exit, broken
+        pool).
+        """
+        lifecycle = getattr(self, "_lifecycle", None)
+        if lifecycle is None:
+            # __init__ raised before the lifecycle existed; nothing to free.
+            return
+        with lifecycle:
+            if wait:
+                while self._inflight > 0:
+                    lifecycle.wait()
+            # Detach the handles before tearing them down so a failure (or
+            # a re-entrant call) can never double-release.
+            pool, self._pool = self._pool, None
+            store, self._store = self._store, None
         if pool is not None or store is not None:
             log_event(
                 _log, logging.DEBUG, "engine.shutdown",
@@ -461,6 +501,20 @@ class ProcessPoolEngine(ExecutionEngine):
                 pass
 
     def _map_tasks(
+        self, workload: Workload, partitions: Sequence[Sequence[Any]]
+    ) -> list[tuple[WorkloadResult, float]]:
+        # Every pool round-trip is bracketed by the in-flight counter so
+        # a concurrent shutdown(wait=True) drains us before unlinking.
+        with self._lifecycle:
+            self._inflight += 1
+        try:
+            return self._map_tasks_inner(workload, partitions)
+        finally:
+            with self._lifecycle:
+                self._inflight -= 1
+                self._lifecycle.notify_all()
+
+    def _map_tasks_inner(
         self, workload: Workload, partitions: Sequence[Sequence[Any]]
     ) -> list[tuple[WorkloadResult, float]]:
         pool = self._ensure_pool()

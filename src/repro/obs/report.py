@@ -10,7 +10,10 @@ renders the three views an engineer reads first:
 - kernel tier dispatch counts, when a ``<trace>.metrics.json`` sidecar
   (written by ``repro compare --trace``) sits next to the trace — the
   ``repro_kernel_dispatch_total{kernel,tier}`` counters say which
-  autotuner tier actually ran.
+  autotuner tier actually ran,
+- the job-service section, when the sidecar carries ``repro_service_*``
+  series — submissions/rejections, terminal states, queue-depth posture,
+  p50/p99 queue-wait and run latency.
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ __all__ = [
     "node_table",
     "slowest_spans",
     "kernel_dispatch_table",
+    "service_section",
+    "histogram_quantile",
     "render_report",
     "report_from_file",
 ]
@@ -36,6 +41,17 @@ __all__ = [
 _DISPATCH_KEY = re.compile(
     r'^repro_kernel_dispatch_total\{kernel="([^"]+)",tier="([^"]+)"\}$'
 )
+
+_LABELLED_KEY = re.compile(r'^(?P<name>[^{]+)\{(?P<labels>.*)\}$')
+_LABEL_PAIR = re.compile(r'(\w+)="([^"]*)"')
+
+
+def _parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot key ``name{k="v",...}`` into name + labels."""
+    m = _LABELLED_KEY.match(key)
+    if not m:
+        return key, {}
+    return m.group("name"), dict(_LABEL_PAIR.findall(m.group("labels")))
 
 
 def _fmt_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -118,6 +134,99 @@ def kernel_dispatch_table(metrics: dict[str, Any]) -> list[dict[str, Any]]:
     return rows
 
 
+def histogram_quantile(entry: dict[str, Any], q: float) -> float | None:
+    """Upper-bound quantile estimate from a snapshot histogram entry.
+
+    Returns the upper edge of the first bucket whose cumulative count
+    reaches ``q`` of the total (``inf`` when it lands in the +inf
+    bucket), or None for an empty histogram.
+    """
+    count = int(entry.get("count") or 0)
+    if count <= 0:
+        return None
+    buckets = entry.get("buckets", {})
+    edges = sorted(
+        (float(bound), int(n)) for bound, n in buckets.items() if bound != "+inf"
+    )
+    target = q * count
+    cumulative = 0
+    for bound, n in edges:
+        cumulative += n
+        if cumulative >= target:
+            return bound
+    return float("inf")
+
+
+def service_section(metrics: dict[str, Any]) -> dict[str, Any] | None:
+    """Job-service posture from a metrics snapshot, or None when the
+    snapshot carries no ``repro_service_*`` series.
+
+    Aggregates the counters/histograms the
+    :class:`~repro.service.manager.JobManager` records: submissions,
+    terminal states, rejections by reason, the queue-depth distribution
+    (sampled at every admission and dequeue — depth over time), and
+    p50/p99 queue-wait and run latency.
+    """
+    counters: dict[str, float] = {}
+    states: dict[str, int] = {}
+    rejections: dict[str, int] = {}
+    hists: dict[str, dict[str, Any]] = {}
+    gauges: dict[str, float] = {}
+    for key, entry in metrics.items():
+        if not key.startswith("repro_service_") or not isinstance(entry, dict):
+            continue
+        name, labels = _parse_metric_key(key)
+        if entry.get("type") == "histogram":
+            hists[name] = entry
+        elif entry.get("type") == "gauge":
+            gauges[name] = float(entry.get("value", 0.0))
+        elif name == "repro_service_jobs_total":
+            states[labels.get("state", "?")] = int(entry["value"])
+        elif name == "repro_service_rejected_total":
+            rejections[labels.get("reason", "?")] = int(entry["value"])
+        else:
+            counters[name] = counters.get(name, 0.0) + float(entry["value"])
+    if not (counters or states or rejections or hists or gauges):
+        return None
+
+    def quantiles(name: str) -> dict[str, Any]:
+        entry = hists.get(name)
+        if entry is None:
+            return {"count": 0, "mean": None, "p50": None, "p99": None}
+        return {
+            "count": int(entry.get("count", 0)),
+            "mean": entry.get("mean"),
+            "p50": histogram_quantile(entry, 0.50),
+            "p99": histogram_quantile(entry, 0.99),
+        }
+
+    return {
+        "submitted": int(counters.get("repro_service_submitted_total", 0)),
+        "accepted": int(counters.get("repro_service_accepted_total", 0)),
+        "rejections": dict(sorted(rejections.items())),
+        "states": dict(sorted(states.items())),
+        "results_evicted": int(
+            counters.get("repro_service_results_evicted_total", 0)
+        ),
+        "queue_depth": {
+            "current": gauges.get("repro_service_queue_depth"),
+            "peak": gauges.get("repro_service_queue_depth_peak"),
+            **quantiles("repro_service_queue_depth_jobs"),
+        },
+        "queue_wait_s": quantiles("repro_service_queue_wait_seconds"),
+        "run_s": quantiles("repro_service_run_seconds"),
+    }
+
+
+def _fmt_quantile(value: Any) -> str:
+    if value is None:
+        return "-"
+    value = float(value)
+    if value == float("inf"):
+        return ">max"
+    return f"{value:.4f}"
+
+
 def render_report(
     spans: list[dict],
     top_n: int = 10,
@@ -198,6 +307,53 @@ def render_report(
             _fmt_table(
                 ("kernel", "tier", "count"),
                 [(r["kernel"], r["tier"], r["count"]) for r in dispatch],
+            )
+        )
+
+    service = service_section(metrics) if metrics else None
+    if service:
+        sections.append("\n== service ==")
+        rejected = sum(service["rejections"].values())
+        line = (
+            f"submitted {service['submitted']}  "
+            f"accepted {service['accepted']}  rejected {rejected}"
+        )
+        if service["rejections"]:
+            reasons = ", ".join(
+                f"{reason}={n}" for reason, n in service["rejections"].items()
+            )
+            line += f" ({reasons})"
+        sections.append(line)
+        if service["states"]:
+            sections.append(
+                "terminal states: "
+                + ", ".join(f"{s}={n}" for s, n in service["states"].items())
+            )
+        if service["results_evicted"]:
+            sections.append(f"results evicted (TTL): {service['results_evicted']}")
+        depth = service["queue_depth"]
+        sections.append(
+            f"queue depth: current {_fmt_quantile(depth['current'])}  "
+            f"peak {_fmt_quantile(depth['peak'])}  "
+            f"p50 {_fmt_quantile(depth['p50'])}  p99 {_fmt_quantile(depth['p99'])} "
+            f"(over {depth['count']} samples)"
+        )
+        sections.append(
+            _fmt_table(
+                ("latency", "count", "mean_s", "p50_s", "p99_s"),
+                [
+                    (
+                        label,
+                        row["count"],
+                        _fmt_quantile(row["mean"]),
+                        _fmt_quantile(row["p50"]),
+                        _fmt_quantile(row["p99"]),
+                    )
+                    for label, row in (
+                        ("queue_wait", service["queue_wait_s"]),
+                        ("run", service["run_s"]),
+                    )
+                ],
             )
         )
     return "\n".join(sections)

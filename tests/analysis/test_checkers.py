@@ -494,3 +494,53 @@ class TestSpanCoverage:
             "src/repro/core/framework.py",
         )
         assert run_checker(SpanCoverageChecker(self.REQUIRED), good) == []
+
+    def test_default_contract_covers_service_manager(self):
+        required = SpanCoverageChecker().required["repro.service.manager"]
+        assert required == frozenset({"submit", "run_record", "drain"})
+
+    def test_true_positive_uninstrumented_service_submit(self):
+        bad = mod(
+            """
+            import repro.obs as obs
+
+            class JobManager:
+                def submit(self, spec):
+                    return spec
+
+                def run_record(self, record):
+                    with obs.span("service.run"):
+                        return record
+
+                def drain(self, timeout_s=None):
+                    with obs.span("service.drain"):
+                        return True
+            """,
+            "src/repro/service/manager.py",
+        )
+        findings = run_checker(SpanCoverageChecker(), bad)
+        assert len(findings) == 1
+        assert findings[0].rule == "SPAN-COVERAGE"
+        assert "JobManager.submit" in findings[0].message
+
+    def test_clean_instrumented_service_manager(self):
+        good = mod(
+            """
+            import repro.obs as obs
+
+            class JobManager:
+                def submit(self, spec):
+                    with obs.span("service.submit"):
+                        return spec
+
+                def run_record(self, record):
+                    with obs.span("service.run"):
+                        return record
+
+                def drain(self, timeout_s=None):
+                    with obs.span("service.drain"):
+                        return True
+            """,
+            "src/repro/service/manager.py",
+        )
+        assert run_checker(SpanCoverageChecker(), good) == []

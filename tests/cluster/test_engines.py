@@ -1,5 +1,6 @@
 """Unit tests for the execution engines."""
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -22,6 +23,16 @@ class CountingWorkload(Workload):
 
     def merge(self, partials):
         return sum(p.output for p in partials)
+
+
+class SlowWorkload(CountingWorkload):
+    """Counting plus a worker-side sleep, to hold tasks in flight."""
+
+    name = "slow-counting"
+
+    def run(self, records: Sequence[int]) -> WorkloadResult:
+        time.sleep(0.05)
+        return super().run(records)
 
 
 @pytest.fixture(scope="module")
@@ -201,6 +212,78 @@ class TestProcessPoolEngine:
         job = engine.run_job(CountingWorkload(), [[1, 2]], assignment=[0])
         assert job.merged_output == 3
         assert engine.pools_created == 2
+        engine.shutdown()
+
+    def test_shutdown_waits_for_inflight_job(self, cluster):
+        # shutdown(wait=True) racing an active run_job must drain the
+        # job before unlinking shared memory: the job completes with a
+        # correct result instead of crashing on a vanished segment.
+        import threading
+
+        engine = ProcessPoolEngine(cluster, max_workers=2)
+        done: dict[str, object] = {}
+
+        def run():
+            parts = [list(range(200)) for _ in range(8)]
+            done["job"] = engine.run_job(
+                SlowWorkload(), parts, assignment=[i % 4 for i in range(8)]
+            )
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        deadline = time.monotonic() + 10.0
+        while engine._inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert engine._inflight > 0, "job never became in-flight"
+        engine.shutdown(wait=True)
+        worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        job = done["job"]
+        assert job.merged_output == sum(range(200)) * 8
+        assert engine._pool is None and engine._store is None
+
+    def test_concurrent_shutdown_callers(self, cluster):
+        # Two threads racing shutdown(): exactly-once teardown, no error.
+        import threading
+
+        engine = ProcessPoolEngine(cluster, max_workers=1)
+        engine.profile(CountingWorkload(), [1, 2], 0)
+        errors: list[BaseException] = []
+
+        def call():
+            try:
+                engine.shutdown(wait=True)
+            except BaseException as exc:  # repro: noqa[SILENT-EXCEPT] — not swallowed: collected per thread and asserted empty after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert errors == []
+        assert engine._pool is None and engine._store is None
+
+    def test_concurrent_run_jobs_share_pool(self, cluster):
+        # Two submitting threads must both complete against the one
+        # persistent pool/store pair (lifecycle lock serialises setup).
+        import threading
+
+        engine = ProcessPoolEngine(cluster, max_workers=2)
+        results: dict[int, int] = {}
+
+        def run(idx):
+            parts = [[idx, idx + 1], [idx + 2]]
+            job = engine.run_job(CountingWorkload(), parts, assignment=[0, 1])
+            results[idx] = job.merged_output
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in (10, 20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert results == {10: 3 * 10 + 3, 20: 3 * 20 + 3}
+        assert engine.pools_created == 1
         engine.shutdown()
 
     def test_context_manager_releases_pool(self, cluster):

@@ -10,10 +10,12 @@ from repro.cli import main
 from repro.cluster.cluster import paper_cluster
 from repro.cluster.engines import SimulatedEngine
 from repro.obs.report import (
+    histogram_quantile,
     kernel_dispatch_table,
     node_table,
     render_report,
     report_from_file,
+    service_section,
     slowest_spans,
     stage_table,
 )
@@ -122,6 +124,92 @@ class TestKernelDispatch:
         sidecar.write_text("{broken", encoding="utf-8")
         text = report_from_file(trace_path)
         assert "kernel tier dispatch" not in text
+
+
+_SERVICE_SNAPSHOT = {
+    "repro_service_submitted_total": {"type": "counter", "value": 12},
+    'repro_service_accepted_total{tenant="default"}': {"type": "counter", "value": 9},
+    'repro_service_rejected_total{reason="queue_full"}': {
+        "type": "counter",
+        "value": 2,
+    },
+    'repro_service_rejected_total{reason="tenant_cap"}': {
+        "type": "counter",
+        "value": 1,
+    },
+    'repro_service_jobs_total{state="SUCCEEDED"}': {"type": "counter", "value": 8},
+    'repro_service_jobs_total{state="FAILED"}': {"type": "counter", "value": 1},
+    "repro_service_results_evicted_total": {"type": "counter", "value": 4},
+    "repro_service_queue_depth": {"type": "gauge", "value": 0.0},
+    "repro_service_queue_depth_peak": {"type": "gauge", "value": 5.0},
+    "repro_service_queue_depth_jobs": {
+        "type": "histogram",
+        "count": 20,
+        "sum": 30.0,
+        "mean": 1.5,
+        "buckets": {"0": 4, "1": 6, "2": 4, "4": 4, "8": 2, "16": 0, "+inf": 0},
+    },
+    "repro_service_queue_wait_seconds": {
+        "type": "histogram",
+        "count": 9,
+        "sum": 0.9,
+        "mean": 0.1,
+        "buckets": {"0.005": 1, "0.05": 3, "0.5": 4, "5.0": 1, "+inf": 0},
+    },
+    "repro_service_run_seconds": {
+        "type": "histogram",
+        "count": 9,
+        "sum": 4.5,
+        "mean": 0.5,
+        "buckets": {"0.1": 2, "1.0": 6, "10.0": 1, "+inf": 0},
+    },
+}
+
+
+class TestServiceSection:
+    def test_aggregates_counters_states_and_quantiles(self):
+        section = service_section(_SERVICE_SNAPSHOT)
+        assert section["submitted"] == 12
+        assert section["accepted"] == 9
+        assert section["rejections"] == {"queue_full": 2, "tenant_cap": 1}
+        assert section["states"] == {"FAILED": 1, "SUCCEEDED": 8}
+        assert section["results_evicted"] == 4
+        assert section["queue_depth"]["peak"] == 5.0
+        assert section["queue_depth"]["p50"] == 1.0
+        assert section["queue_wait_s"]["p50"] == 0.5
+        assert section["run_s"]["p99"] == 10.0
+
+    def test_no_service_series_returns_none(self):
+        assert service_section(_SNAPSHOT) is None
+        assert service_section({}) is None
+
+    def test_histogram_quantile_edges(self):
+        assert histogram_quantile({"count": 0, "buckets": {}}, 0.5) is None
+        entry = {"count": 4, "buckets": {"1": 2, "2": 2, "+inf": 0}}
+        assert histogram_quantile(entry, 0.5) == 1.0
+        assert histogram_quantile(entry, 0.99) == 2.0
+        # Mass in the overflow bucket answers with +inf.
+        overflow = {"count": 2, "buckets": {"1": 1, "+inf": 1}}
+        assert histogram_quantile(overflow, 0.99) == float("inf")
+
+    def test_render_includes_service_section(self, trace_path):
+        _meta, spans = obs.read_spans(trace_path)
+        text = render_report(spans, metrics=_SERVICE_SNAPSHOT)
+        assert "== service ==" in text
+        assert "queue_full=2" in text
+        assert "SUCCEEDED=8" in text
+        assert "queue depth" in text
+
+    def test_report_from_file_renders_service_sidecar(self, trace_path):
+        sidecar = trace_path.parent / (trace_path.name + ".metrics.json")
+        sidecar.write_text(json.dumps(_SERVICE_SNAPSHOT), encoding="utf-8")
+        text = report_from_file(trace_path)
+        assert "== service ==" in text
+
+    def test_report_without_service_metrics_omits_section(self, trace_path):
+        sidecar = trace_path.parent / (trace_path.name + ".metrics.json")
+        sidecar.write_text(json.dumps(_SNAPSHOT), encoding="utf-8")
+        assert "== service ==" not in report_from_file(trace_path)
 
 
 class TestCli:

@@ -1,0 +1,14 @@
+"""Shared service-test hygiene: obs left off/empty around every test."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -47,6 +47,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.obs.energy import energy_split
+from repro.obs.live import Objective, SLOMonitor, enable_live, reset_live
 from repro.service import ServiceConfig, build_service
 from repro.service.client import ServiceClient
 
@@ -61,6 +62,7 @@ FULL = {
     "num_nodes": 4,
     "max_workers": 4,
     "seed": 23,
+    "slo_queue_wait_s": 0.02,
 }
 SMOKE = {
     "arrival_rate_hz": 6.0,
@@ -73,6 +75,7 @@ SMOKE = {
     "num_nodes": 4,
     "max_workers": 2,
     "seed": 23,
+    "slo_queue_wait_s": 0.02,
 }
 
 #: The mixed-scenario batch: repeat operating points over shared
@@ -130,6 +133,18 @@ def run_service_bench(cfg: dict) -> dict:
 
     obs.enable()
     obs.reset()
+    # Live plane rides the whole bench: tight queue-wait SLO windows so
+    # the overload burst visibly flips the objective to burning and the
+    # post-burst lull lets it recover within the run.
+    reset_live()
+    plane = enable_live(
+        slo=SLOMonitor((
+            Objective(
+                "queue_wait", threshold=cfg["slo_queue_wait_s"], budget=0.25,
+                fast_window_s=3.0, slow_window_s=6.0, unit="s",
+            ),
+        ))
+    )
     service = build_service(
         engine="process",
         num_nodes=cfg["num_nodes"],
@@ -174,17 +189,27 @@ def run_service_bench(cfg: dict) -> dict:
                 [0.0] * cfg["overload_burst"],
             )
             overload = _settle(client, over_responses)
+            slo_overload = plane.slo.status()["queue_wait"]
+            slo_recovered = _wait_slo_ok(plane)
 
             stats = service.manager.stats()
             audit = service.executor.dataplane_audit()
             scenarios = service.executor.scenarios_prepared
+            cluster_nodes = [
+                {"node_id": n.node_id, "watts": n.watts, "speed_factor": n.speed_factor}
+                for n in service.executor.engine.cluster.nodes
+            ]
 
         # Context exit drained the manager and closed the engine; the
         # trace now holds every task.execute span the service emitted.
         spans = obs.get_tracer().finished_spans()
         split = energy_split(spans)
         metrics = obs.metrics_snapshot()
+        live = _live_results(
+            plane, split, cluster_nodes, slo_overload, slo_recovered
+        )
     finally:
+        reset_live()
         obs.disable()
         obs.reset()
 
@@ -220,6 +245,45 @@ def run_service_bench(cfg: dict) -> dict:
                 k for k in metrics if k.startswith("repro_service_")
             ),
         },
+        "live": live,
+    }
+
+
+def _wait_slo_ok(plane, timeout_s: float = 15.0) -> dict:
+    """Poll until the queue-wait objective recovers (windows drain)."""
+    deadline = time.monotonic() + timeout_s
+    status = plane.slo.status()["queue_wait"]
+    while status["state"] != "ok" and time.monotonic() < deadline:
+        time.sleep(0.25)
+        status = plane.slo.status()["queue_wait"]
+    return status
+
+
+def _live_results(plane, split, cluster_nodes, slo_overload, slo_recovered) -> dict:
+    """Fold the live plane's view of the bench into checkable numbers."""
+    estimate = plane.estimator.estimates(num_nodes=len(cluster_nodes))
+    nodes = []
+    for cfg_node, est in zip(cluster_nodes, estimate.nodes):
+        err = (
+            abs(est.power_w - cfg_node["watts"]) / cfg_node["watts"]
+            if cfg_node["watts"]
+            else 0.0
+        )
+        nodes.append({
+            "node_id": cfg_node["node_id"],
+            "configured_watts": cfg_node["watts"],
+            "estimated_watts": est.power_w,
+            "power_rel_err": err,
+            "throughput_items_per_s": est.throughput_items_per_s,
+            "samples": est.samples,
+        })
+    return {
+        "nodes": nodes,
+        "ledger": plane.ledger.reconcile(split, tol=1e-6),
+        "tenants": plane.ledger.totals(),
+        "slo_after_overload": slo_overload,
+        "slo_recovered": slo_recovered,
+        "bus": plane.bus.stats(),
     }
 
 
@@ -290,6 +354,17 @@ def _render(results: dict) -> str:
         f"energy: results {rec['results_energy_j']:.3f} J vs trace "
         f"{rec['trace_energy_j']:.3f} J (|err| {rec['abs_error_j']:.2e} J)",
     ]
+    live = results["live"]
+    worst_power = max(n["power_rel_err"] for n in live["nodes"])
+    lines += [
+        f"live plane: {len(live['nodes'])} node estimates (power err max "
+        f"{worst_power * 100:.2f}%), ledger |err| "
+        f"{live['ledger']['energy_diff_j']:.2e} J over "
+        f"{len(live['tenants'])} tenants, queue-wait SLO "
+        f"{live['slo_after_overload']['state']} after overload -> "
+        f"{live['slo_recovered']['state']} recovered, bus "
+        f"{live['bus']['published']} events ({live['bus']['dropped']} dropped)",
+    ]
     return "\n".join(lines)
 
 
@@ -324,6 +399,26 @@ def _check(results: dict) -> None:
     series = results["obs"]["service_metric_series"]
     assert any(s.startswith("repro_service_rejected_total") for s in series), series
     assert "repro_service_queue_wait_seconds" in series, series
+    # Live plane invariants (ISSUE 9 acceptance):
+    live = results["live"]
+    # 1. the online estimator saw every node and recovered its power
+    #    draw within 15% of the configured cluster;
+    for node in live["nodes"]:
+        assert node["samples"] > 0, node
+        assert node["power_rel_err"] <= 0.15, node
+    # 2. the per-tenant ledger reconciles with the trace to 1e-6;
+    assert live["ledger"]["ok"], live["ledger"]
+    assert set(live["tenants"]) == {"miner-a", "miner-b", "compressor"}, (
+        live["tenants"]
+    )
+    # 3. the overload burst flipped the queue-wait SLO to burning, and
+    #    the post-burst lull let it recover;
+    assert live["slo_after_overload"]["state"] == "burning", (
+        live["slo_after_overload"]
+    )
+    assert live["slo_recovered"]["state"] == "ok", live["slo_recovered"]
+    # 4. the bus actually carried the run.
+    assert live["bus"]["published"] > 0, live["bus"]
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -6,7 +6,9 @@ unattributed energy. This rule pins the contract — the public stage
 entry points of :mod:`repro.core.framework`, the engine
 ``run_job``/``profile`` paths in :mod:`repro.cluster.engines`, and the
 job-service ``submit``/``run_record``/``drain`` entry points in
-:mod:`repro.service.manager` must emit an ``obs`` span.
+:mod:`repro.service.manager` must emit an ``obs`` span, and the live
+plane's ``publish_span``/``publish_event`` entry points in
+:mod:`repro.obs.live.plane` must publish onto the telemetry bus.
 
 A required function is *covered* when its body contains a span-emitting
 call — ``obs.span(...)``, ``obs.emit(...)``, ``<tracer>.span(...)``,
@@ -37,9 +39,16 @@ DEFAULT_REQUIRED: Mapping[str, frozenset[str]] = {
     # submit or run means queue waits and per-job energy never reach
     # the trace, which defeats the service section of `repro obs report`.
     "repro.service.manager": frozenset({"submit", "run_record", "drain"}),
+    # The live plane's publication entry points: if these stop pushing
+    # onto the telemetry bus, `/live` and `repro obs top` go dark
+    # silently while the rest of the plane still looks healthy.
+    "repro.obs.live.plane": frozenset({"publish_span", "publish_event"}),
 }
 
-_EMITTING_CALLS = {"span", "emit"}
+# ``publish`` counts as emitting: the live plane's entry points feed
+# the bounded bus instead of opening spans (a span inside the tracer
+# sink would recurse back into the sink).
+_EMITTING_CALLS = {"span", "emit", "publish"}
 _TRACED_DECORATORS = {"traced"}
 
 

@@ -190,6 +190,14 @@ def cmd_obs_report(args) -> int:
     return 0
 
 
+def cmd_obs_top(args) -> int:
+    from repro.obs.live.dashboard import run_top
+
+    return run_top(
+        args.url, once=args.once, interval=args.interval, duration=args.duration
+    )
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -241,6 +249,10 @@ def cmd_serve(args) -> int:
 
     if args.metrics:
         obs.enable()
+    if args.live:
+        from repro.obs.live import enable_live
+
+        enable_live()  # implies obs.enable(); /live + `repro obs top`
     config = ServiceConfig(
         max_queue_depth=args.queue_depth,
         concurrency=args.concurrency,
@@ -367,6 +379,21 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("trace", help="path to a trace written by --trace / export_jsonl")
     rp.add_argument("--top", type=int, default=10, help="slowest spans to list")
     rp.set_defaults(func=cmd_obs_report)
+    tp = obs_sub.add_parser(
+        "top", help="refreshing ASCII dashboard over a service's /live endpoint"
+    )
+    tp.add_argument("--url", default="http://127.0.0.1:8642")
+    tp.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    tp.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period seconds"
+    )
+    tp.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: run until interrupted)",
+    )
+    tp.set_defaults(func=cmd_obs_top)
 
     p = sub.add_parser(
         "lint", help="run the project-invariant static analysis suite"
@@ -425,6 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics", action="store_true",
         help="enable observability (spans + /metrics counters)",
+    )
+    p.add_argument(
+        "--live", action="store_true",
+        help="enable the live telemetry plane (GET /live + repro obs top)",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -100,29 +100,53 @@ class JobResult:
         return work
 
 
-def record_job_telemetry(job: JobResult, job_span, wall0: float, engine: str) -> None:
+def record_job_telemetry(
+    job: JobResult, job_span, wall0: float, engine: str, workload: str | None = None
+) -> None:
     """Emit one ``task.execute`` span per task (on the job's node-local
     timeline, anchored at the job's wall start) plus the per-node
     latency/energy metrics. Sums of the span energy attrs reproduce
     the job totals exactly — the spans carry the same floats the
     :class:`JobResult` summed. Callers must check ``obs.enabled()``.
 
+    ``workload`` tags each span with the workload name so the live
+    :class:`~repro.obs.live.NodeEstimator` can fit per-workload models
+    (mixing workloads with different per-item costs would bias a
+    pooled slope).
+
     Shared by every engine that produces a :class:`JobResult`
     (simulated, process-pool, fault-injecting, work-stealing).
     """
     tracer = obs.get_tracer()
     for task in job.tasks:
+        attrs = task_energy_attrs(task)
+        if workload is not None:
+            attrs["workload"] = workload
         tracer.emit(
             "task.execute",
             start_s=wall0 + task.start_s,
             duration_s=task.runtime_s,
             parent_id=job_span.span_id,
-            **task_energy_attrs(task),
+            **attrs,
         )
     job_span.set_attr("makespan_s", job.makespan_s)
     job_span.set_attr("total_energy_j", job.total_energy_j)
     job_span.set_attr("total_dirty_energy_j", job.total_dirty_energy_j)
     record_job_metrics(obs.get_metrics(), job, engine=engine)
+    # Deferred import: repro.obs.live sits above the cluster layer.
+    from repro.obs.live import active_plane
+
+    plane = active_plane()
+    if plane is not None:
+        plane.publish_event(
+            "job.complete",
+            engine=engine,
+            workload=workload,
+            tasks=len(job.tasks),
+            makespan_s=job.makespan_s,
+            energy_j=job.total_energy_j,
+            dirty_energy_j=job.total_dirty_energy_j,
+        )
 
 
 def _validate_assignment(cluster: Cluster, partitions: Sequence, assignment: Sequence[int]) -> None:
@@ -247,7 +271,9 @@ class ExecutionEngine(abc.ABC):
                 merged_output=merged,
             )
             if obs.enabled():
-                record_job_telemetry(job, job_span, wall0, type(self).__name__)
+                record_job_telemetry(
+                    job, job_span, wall0, type(self).__name__, workload=workload.name
+                )
             return job
 
 

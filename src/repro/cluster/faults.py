@@ -100,6 +100,13 @@ class FaultInjectingEngine:
             lost_at_s=lost_at,
         )
         obs.get_metrics().counter("repro_fault_injected_total", node=str(node_id)).inc()
+        from repro.obs.live import active_plane
+
+        plane = active_plane()
+        if plane is not None:
+            plane.publish_event(
+                "fault.injected", node_id=node_id, partition_id=pid, lost_at_s=lost_at
+            )
 
     def _run_job_impl(
         self,
@@ -198,12 +205,23 @@ class FaultInjectingEngine:
             merged_output=merged,
         )
         if obs.enabled():
-            record_job_telemetry(job, job_span, wall0, type(self).__name__)
+            record_job_telemetry(
+                job, job_span, wall0, type(self).__name__, workload=workload.name
+            )
             wasted = self.wasted_energy_j(job)
             if wasted:
                 obs.get_metrics().counter(
                     "repro_fault_wasted_energy_joules_total"
                 ).inc(wasted)
+                from repro.obs.live import active_plane
+
+                plane = active_plane()
+                if plane is not None:
+                    plane.publish_event(
+                        "fault.wasted",
+                        wasted_energy_j=wasted,
+                        retries=len([t for t in job.tasks if t.stats.get("wasted")]),
+                    )
         return job
 
     @staticmethod

@@ -166,6 +166,16 @@ class WorkStealingScheduler:
                     metrics.counter("repro_worksteal_items_stolen_total").inc(
                         len(chunk)
                     )
+                    from repro.obs.live import active_plane
+
+                    plane = active_plane()
+                    if plane is not None:
+                        plane.publish_event(
+                            "worksteal.steal",
+                            thief=node,
+                            victim=victim,
+                            chunk_items=len(chunk),
+                        )
             result = workload.run(chunk)
             node_obj = self.cluster[node]
             speed = node_obj.speed_factor
@@ -205,7 +215,9 @@ class WorkStealingScheduler:
             merged_output=merged,
         )
         if obs.enabled():
-            record_job_telemetry(job, job_span, wall0, type(self).__name__)
+            record_job_telemetry(
+                job, job_span, wall0, type(self).__name__, workload=workload.name
+            )
             job_span.set_attr("steals", len(self.events))
         return job
 

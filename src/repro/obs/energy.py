@@ -28,7 +28,7 @@ def task_energy_attrs(task: Any) -> dict[str, Any]:
     """Span attributes for one executed task, energy fields included."""
     energy = float(task.energy_j)
     dirty = float(task.dirty_energy_j)
-    return {
+    attrs = {
         "partition_id": int(task.partition_id),
         "node_id": int(task.node_id),
         "work_units": float(task.work_units),
@@ -38,6 +38,12 @@ def task_energy_attrs(task: Any) -> dict[str, Any]:
         "green_energy_j": energy - dirty,
         "green_fraction": (energy - dirty) / energy if energy > 0 else 1.0,
     }
+    stats = getattr(task, "stats", None) or {}
+    if stats.get("wasted"):
+        # Fault-injected attempts: energy was burned but the output was
+        # discarded; the live ledger bills this separately per tenant.
+        attrs["wasted"] = True
+    return attrs
 
 
 def node_energy_breakdown(job: Any) -> dict[int, dict[str, float]]:

@@ -1,0 +1,103 @@
+"""``repro.obs.live`` — the always-on live telemetry plane.
+
+Where :mod:`repro.obs` collects spans for *post-hoc* analysis (JSONL
+traces, ``repro obs report``), this subpackage consumes them *while the
+run is in flight*:
+
+- :class:`TelemetryBus` — bounded drop-oldest ring every publisher
+  writes into; subscribers snapshot by sequence number or long-poll.
+- :class:`NodeEstimator` — online per-node time models + power split,
+  shaped for :class:`repro.core.optimizer.ParetoOptimizer` (the
+  feedback interface for online re-planning, ROADMAP item 2).
+- :class:`Ledger` — per-tenant green/dirty energy accounts that
+  reconcile with :func:`repro.obs.energy.energy_split` to 1e-6.
+- :class:`SLOMonitor` — multi-window burn-rate alerting over p99 job
+  latency, dirty-J-per-job and queue-wait objectives.
+- Surfaces: the service's ``GET /live`` endpoint and ``repro obs top``.
+
+Process-global lifecycle mirrors :mod:`repro.obs`::
+
+    from repro.obs import live
+
+    live.enable_live()          # also enables obs; installs tracer sink
+    ... run jobs ...
+    live.get_plane().snapshot() # estimates, ledger, SLO states
+    live.disable_live()
+
+Deliberately *not* imported by ``repro.obs`` itself: the base plane
+stays import-light and the live plane is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from repro.obs.live.bus import TelemetryBus
+from repro.obs.live.estimator import ClusterEstimate, NodeEstimate, NodeEstimator
+from repro.obs.live.ledger import Ledger
+from repro.obs.live.plane import LivePlane, current_tenant, tenant_context
+from repro.obs.live.slo import Objective, SLOMonitor, default_objectives
+
+__all__ = [
+    "TelemetryBus",
+    "NodeEstimator",
+    "NodeEstimate",
+    "ClusterEstimate",
+    "Ledger",
+    "SLOMonitor",
+    "Objective",
+    "default_objectives",
+    "LivePlane",
+    "tenant_context",
+    "current_tenant",
+    "enable_live",
+    "disable_live",
+    "live_enabled",
+    "get_plane",
+    "active_plane",
+    "reset_live",
+]
+
+_plane: LivePlane | None = None
+
+
+def enable_live(**kwargs) -> LivePlane:
+    """Create (or reuse) the process-global plane and attach it.
+
+    Also enables :mod:`repro.obs` — the plane is fed by the tracer
+    sink, so there is nothing to consume while tracing is off.
+    """
+    import repro.obs as obs
+
+    global _plane
+    if _plane is None:
+        _plane = LivePlane(**kwargs)
+    obs.enable()
+    return _plane.attach()
+
+
+def disable_live() -> None:
+    """Detach the plane from the tracer (state stays readable)."""
+    if _plane is not None:
+        _plane.detach()
+
+
+def live_enabled() -> bool:
+    return _plane is not None and _plane.attached
+
+
+def get_plane() -> LivePlane | None:
+    """The global plane, attached or not (None if never enabled)."""
+    return _plane
+
+
+def active_plane() -> LivePlane | None:
+    """The global plane only while attached — the publisher-side check."""
+    if _plane is not None and _plane.attached:
+        return _plane
+    return None
+
+
+def reset_live() -> None:
+    """Detach and drop the global plane (tests)."""
+    global _plane
+    disable_live()
+    _plane = None

@@ -1,0 +1,255 @@
+"""Online per-node estimators: the live feedback signal for re-planning.
+
+Every ``task.execute`` span carries ``(node_id, work_units, runtime_s,
+energy_j, dirty_energy_j)``; :class:`NodeEstimator` folds those into
+
+- an EWMA-weighted **linear regression** of runtime vs work per
+  ``(node, workload)`` — recovering the same ``f_i(x) = m_i·x + c_i``
+  shape progressive sampling fits offline, but continuously and from
+  production traffic instead of probes; and
+- EWMA **power** estimates (total / dirty / green watts) per node.
+
+:meth:`NodeEstimator.estimates` returns the models and dirty-watt
+coefficients in exactly the shape
+:class:`repro.core.optimizer.ParetoOptimizer` consumes
+(``ParetoOptimizer(est.models, est.dirty_coeffs)``), so an online
+re-planner (ROADMAP item 2) can re-solve the Pareto LP mid-stream from
+live data with no adapter layer.
+
+The regression decays old evidence geometrically (sample weight
+``decay^age``), so a node that slows down — co-location interference,
+thermal throttling — re-converges instead of being anchored to history.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.core.heterogeneity import LinearTimeModel
+
+__all__ = ["NodeEstimate", "ClusterEstimate", "NodeEstimator"]
+
+#: Pseudo-workload key for samples that carry no workload attribute.
+_ANY_WORKLOAD = "_"
+
+
+class _RegAcc:
+    """EWMA-decayed least-squares accumulators for one (node, workload)."""
+
+    __slots__ = ("s1", "sx", "sy", "sxx", "sxy", "n")
+
+    def __init__(self) -> None:
+        self.s1 = self.sx = self.sy = self.sxx = self.sxy = 0.0
+        self.n = 0
+
+    def add(self, x: float, y: float, decay: float) -> None:
+        self.s1 = self.s1 * decay + 1.0
+        self.sx = self.sx * decay + x
+        self.sy = self.sy * decay + y
+        self.sxx = self.sxx * decay + x * x
+        self.sxy = self.sxy * decay + x * y
+        self.n += 1
+
+    def merge(self, other: "_RegAcc") -> None:
+        self.s1 += other.s1
+        self.sx += other.sx
+        self.sy += other.sy
+        self.sxx += other.sxx
+        self.sxy += other.sxy
+        self.n += other.n
+
+    def fit(self) -> tuple[float, float]:
+        """Weighted-least-squares ``(slope, intercept)``, both clamped ≥ 0."""
+        if self.n == 0 or self.s1 <= 0.0:
+            return 0.0, 0.0
+        denom = self.s1 * self.sxx - self.sx * self.sx
+        mean_y = self.sy / self.s1
+        # Degenerate x spread (all samples the same size): slope is
+        # unidentifiable, fall back to a flat model at the mean runtime.
+        if denom <= 1e-12 * max(self.sxx, 1.0):
+            return 0.0, max(mean_y, 0.0)
+        slope = (self.s1 * self.sxy - self.sx * self.sy) / denom
+        if slope < 0.0:
+            return 0.0, max(mean_y, 0.0)
+        intercept = (self.sy - slope * self.sx) / self.s1
+        return slope, max(intercept, 0.0)
+
+
+class _PowerAcc:
+    """EWMA power split for one node (constant-alpha, per-task samples)."""
+
+    __slots__ = ("power_w", "dirty_w", "samples", "energy_j", "dirty_j", "busy_s")
+
+    def __init__(self) -> None:
+        self.power_w: float | None = None
+        self.dirty_w: float | None = None
+        self.samples = 0
+        self.energy_j = 0.0
+        self.dirty_j = 0.0
+        self.busy_s = 0.0
+
+    def add(self, runtime_s: float, energy_j: float, dirty_j: float, alpha: float) -> None:
+        watts = energy_j / runtime_s
+        dirty_watts = dirty_j / runtime_s
+        if self.power_w is None:
+            self.power_w = watts
+            self.dirty_w = dirty_watts
+        else:
+            self.power_w += alpha * (watts - self.power_w)
+            self.dirty_w += alpha * (dirty_watts - self.dirty_w)
+        self.samples += 1
+        self.energy_j += energy_j
+        self.dirty_j += dirty_j
+        self.busy_s += runtime_s
+
+
+@dataclass(frozen=True)
+class NodeEstimate:
+    """One node's live picture: time model + power split."""
+
+    node_id: int
+    model: "LinearTimeModel"
+    throughput_items_per_s: float
+    power_w: float
+    dirty_power_w: float
+    green_power_w: float
+    samples: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "slope_s_per_item": self.model.slope,
+            "intercept_s": self.model.intercept,
+            "throughput_items_per_s": self.throughput_items_per_s,
+            "power_w": self.power_w,
+            "dirty_power_w": self.dirty_power_w,
+            "green_power_w": self.green_power_w,
+            "samples": self.samples,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterEstimate:
+    """Per-node estimates, node-id order — the optimizer's input shape."""
+
+    nodes: tuple[NodeEstimate, ...]
+
+    @property
+    def models(self) -> list["LinearTimeModel"]:
+        return [n.model for n in self.nodes]
+
+    @property
+    def dirty_coeffs(self) -> list[float]:
+        return [n.dirty_power_w for n in self.nodes]
+
+    def optimizer(self, normalize: bool = False):
+        """A :class:`~repro.core.optimizer.ParetoOptimizer` over the
+        live models — the re-planning hook."""
+        from repro.core.optimizer import ParetoOptimizer
+
+        return ParetoOptimizer(
+            models=self.models, dirty_coeffs=self.dirty_coeffs, normalize=normalize
+        )
+
+
+class NodeEstimator:
+    """Folds ``task.execute`` span attrs into per-node live estimates.
+
+    ``decay`` is the per-sample geometric weight on old regression
+    evidence (0.99 ≈ a ~100-task memory); ``power_alpha`` is the EWMA
+    step for the power split. Thread-safe: spans arrive from any
+    manager worker thread.
+    """
+
+    def __init__(self, decay: float = 0.99, power_alpha: float = 0.2):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if not 0.0 < power_alpha <= 1.0:
+            raise ValueError("power_alpha must be in (0, 1]")
+        self.decay = decay
+        self.power_alpha = power_alpha
+        self._lock = threading.Lock()
+        self._reg: dict[tuple[int, str], _RegAcc] = {}
+        self._power: dict[int, _PowerAcc] = {}
+
+    def observe_task(self, attrs: Mapping[str, Any]) -> None:
+        """Ingest one ``task.execute`` span's attributes."""
+        runtime = float(attrs["runtime_s"])
+        if runtime <= 0.0:
+            return
+        node = int(attrs["node_id"])
+        work = float(attrs.get("work_units", 0.0))
+        energy = float(attrs.get("energy_j", 0.0))
+        dirty = float(attrs.get("dirty_energy_j", 0.0))
+        workload = str(attrs.get("workload", _ANY_WORKLOAD))
+        wasted = bool(attrs.get("wasted"))
+        with self._lock:
+            power = self._power.get(node)
+            if power is None:
+                power = self._power[node] = _PowerAcc()
+            power.add(runtime, energy, dirty, self.power_alpha)
+            # Wasted (fault-killed) attempts burn watts but their
+            # work_units are zeroed — they inform power, not the model.
+            if not wasted and work > 0.0:
+                key = (node, workload)
+                reg = self._reg.get(key)
+                if reg is None:
+                    reg = self._reg[key] = _RegAcc()
+                reg.add(work, runtime, self.decay)
+
+    # -- read side ----------------------------------------------------------
+
+    @property
+    def nodes_seen(self) -> list[int]:
+        with self._lock:
+            return sorted(self._power)
+
+    def estimates(
+        self, workload: str | None = None, num_nodes: int | None = None
+    ) -> ClusterEstimate:
+        """Current per-node estimates, node-id order.
+
+        ``workload=None`` pools every workload's regression evidence
+        per node (fine when per-item costs are similar; pass an explicit
+        workload for an unbiased model of that workload). ``num_nodes``
+        forces the output length; nodes with no samples yet get a zero
+        model and zero watts, flagged by ``samples == 0``.
+        """
+        from repro.core.heterogeneity import LinearTimeModel
+
+        with self._lock:
+            node_ids = sorted(self._power)
+            if num_nodes is not None:
+                node_ids = list(range(num_nodes))
+            out: list[NodeEstimate] = []
+            for node in node_ids:
+                acc = _RegAcc()
+                for (n, wl), reg in self._reg.items():
+                    if n != node:
+                        continue
+                    if workload is not None and wl != workload:
+                        continue
+                    acc.merge(reg)
+                slope, intercept = acc.fit()
+                power = self._power.get(node)
+                watts = power.power_w if power and power.power_w is not None else 0.0
+                dirty_w = power.dirty_w if power and power.dirty_w is not None else 0.0
+                out.append(
+                    NodeEstimate(
+                        node_id=node,
+                        model=LinearTimeModel(slope=slope, intercept=intercept),
+                        throughput_items_per_s=1.0 / slope if slope > 0 else 0.0,
+                        power_w=watts,
+                        dirty_power_w=dirty_w,
+                        green_power_w=max(watts - dirty_w, 0.0),
+                        samples=power.samples if power else 0,
+                    )
+                )
+        return ClusterEstimate(nodes=tuple(out))
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-ready per-node view (pooled across workloads)."""
+        return [n.as_dict() for n in self.estimates().nodes]

@@ -1,0 +1,128 @@
+"""The live plane: tracer sink → bus + estimator + ledger + SLOs.
+
+One :class:`LivePlane` composes the four live-telemetry pieces and
+attaches to the global tracer as its span sink, so every finished span
+is processed **synchronously on the emitting thread**:
+
+- every span is published onto the :class:`TelemetryBus` (name +
+  duration, bounded ring — subscribers can't stall emitters);
+- spans carrying ``energy_j`` (the exact predicate
+  :func:`repro.obs.energy.energy_split` counts) are billed to the
+  current thread's tenant on the :class:`Ledger` — the manager wraps
+  job execution in :func:`tenant_context`, and task spans are emitted
+  on that same worker thread, which is what makes per-tenant
+  attribution exact;
+- ``task.execute`` spans additionally feed the :class:`NodeEstimator`.
+
+None of the plane's own methods emit spans: a span inside the sink
+path would recurse straight back into the sink.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from repro.obs.live.bus import TelemetryBus
+from repro.obs.live.estimator import NodeEstimator
+from repro.obs.live.ledger import Ledger
+from repro.obs.live.slo import SLOMonitor, default_objectives
+
+__all__ = ["LivePlane", "tenant_context", "current_tenant"]
+
+_TENANT = threading.local()
+
+
+def current_tenant() -> str:
+    """The tenant charges on this thread bill to (see :func:`tenant_context`)."""
+    return getattr(_TENANT, "name", Ledger.UNATTRIBUTED)
+
+
+@contextmanager
+def tenant_context(tenant: str) -> Iterator[None]:
+    """Attribute every energy span emitted on this thread to ``tenant``."""
+    previous = getattr(_TENANT, "name", None)
+    _TENANT.name = tenant
+    try:
+        yield
+    finally:
+        if previous is None:
+            del _TENANT.name
+        else:
+            _TENANT.name = previous
+
+
+class LivePlane:
+    """Composition root for the live telemetry plane."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 2048,
+        bus: TelemetryBus | None = None,
+        estimator: NodeEstimator | None = None,
+        ledger: Ledger | None = None,
+        slo: SLOMonitor | None = None,
+    ):
+        self.bus = bus if bus is not None else TelemetryBus(capacity)
+        self.estimator = estimator if estimator is not None else NodeEstimator()
+        self.ledger = ledger if ledger is not None else Ledger()
+        self.slo = slo if slo is not None else SLOMonitor(default_objectives())
+        self.attached = False
+
+    # -- tracer hookup ------------------------------------------------------
+
+    def attach(self) -> "LivePlane":
+        """Install this plane as the global tracer's span sink."""
+        import repro.obs as obs
+
+        obs.get_tracer().set_sink(self.publish_span)
+        self.attached = True
+        return self
+
+    def detach(self) -> None:
+        import repro.obs as obs
+
+        obs.get_tracer().set_sink(None)
+        self.attached = False
+
+    # -- publication entry points (SPAN-COVERAGE enforced) ------------------
+
+    def publish_span(self, record: Mapping[str, Any]) -> None:
+        """Sink for one finished span: ledger, estimator, then the bus."""
+        attrs = record.get("attrs") or {}
+        if "energy_j" in attrs:
+            energy = float(attrs["energy_j"])
+            dirty = float(attrs.get("dirty_energy_j", 0.0))
+            self.ledger.charge(
+                current_tenant(),
+                green_j=energy - dirty,
+                dirty_j=dirty,
+                wasted=bool(attrs.get("wasted")),
+            )
+            if record.get("name") == "task.execute":
+                self.estimator.observe_task(attrs)
+        self.bus.publish(
+            "span",
+            name=record.get("name"),
+            duration_s=record.get("duration_s"),
+            tenant=current_tenant(),
+        )
+
+    def publish_event(self, kind: str, **data: Any) -> int:
+        """Publish a non-span event (queue depth, faults, steals)."""
+        return self.bus.publish(kind, **data)
+
+    # -- read side ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-ready view of the whole plane (the ``/live`` body)."""
+        return {
+            "time_s": time.time(),
+            "bus": self.bus.stats(),
+            "nodes": self.estimator.snapshot(),
+            "tenants": self.ledger.totals(),
+            "slo": self.slo.status(),
+        }

@@ -47,10 +47,17 @@ def _label_key(labels: dict[str, str]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    # Prometheus text exposition: backslash, double-quote and newline
+    # must be escaped inside label values (\\, \", \n) or the line
+    # becomes unparseable.
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _label_suffix(labels: _LabelKey) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 

@@ -18,16 +18,17 @@ renders the three views an engineer reads first:
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import re
 from collections import defaultdict
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
-from repro.obs.energy import energy_split
-from repro.obs.trace import read_spans, validate_jsonl
+from repro.obs.trace import SCHEMA_VERSION, iter_records
 
 __all__ = [
+    "TraceAggregate",
     "stage_table",
     "node_table",
     "slowest_spans",
@@ -63,6 +64,108 @@ def _fmt_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
         if j == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+class TraceAggregate:
+    """Everything the report needs, folded span-by-span in one pass.
+
+    The streaming counterpart of handing ``render_report`` a span list:
+    holds per-stage and per-node sums, energy-split accumulators and a
+    bounded top-N heap of slowest spans — memory is O(stages + nodes +
+    top_n) regardless of trace size, which is what lets
+    ``repro obs report`` digest multi-hundred-MB service traces.
+    """
+
+    def __init__(self, top_n: int = 10):
+        self.top_n = top_n
+        self.spans = 0
+        self.task_spans = 0
+        self.pids: set[int] = set()
+        self._stages: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+        self._nodes: dict[int, dict[str, float]] = {}
+        self._energy_j = 0.0
+        self._dirty_j = 0.0
+        self._energy_spans = 0
+        self._heap: list[tuple[float, int, dict]] = []
+        self._tiebreak = 0
+
+    def add(self, span: dict) -> None:
+        self.spans += 1
+        self.pids.add(span["pid"])
+        duration = float(span["duration_s"])
+        name = span["name"]
+        attrs = span.get("attrs", {})
+        if name.startswith("stage."):
+            bucket = self._stages[name]
+            bucket[0] += 1
+            bucket[1] += duration
+        if name == "task.execute" and "node_id" in attrs:
+            self.task_spans += 1
+            row = self._nodes.setdefault(
+                int(attrs["node_id"]),
+                {"tasks": 0, "busy_s": 0.0, "energy_j": 0.0, "dirty_energy_j": 0.0},
+            )
+            row["tasks"] += 1
+            row["busy_s"] += float(attrs.get("runtime_s", duration))
+            row["energy_j"] += float(attrs.get("energy_j", 0.0))
+            row["dirty_energy_j"] += float(attrs.get("dirty_energy_j", 0.0))
+        if "energy_j" in attrs:  # the energy_split predicate
+            self._energy_j += float(attrs["energy_j"])
+            self._dirty_j += float(attrs.get("dirty_energy_j", 0.0))
+            self._energy_spans += 1
+        self._tiebreak += 1
+        entry = (duration, self._tiebreak, span)
+        if len(self._heap) < self.top_n:
+            heapq.heappush(self._heap, entry)
+        elif self.top_n > 0 and entry[0] > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    # -- read side ----------------------------------------------------------
+
+    def stage_rows(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "stage": name,
+                "count": int(count),
+                "total_s": total,
+                "mean_s": total / count,
+            }
+            for name, (count, total) in sorted(
+                self._stages.items(), key=lambda kv: -kv[1][1]
+            )
+        ]
+
+    def node_rows(self) -> list[dict[str, Any]]:
+        out = []
+        for node_id, row in sorted(self._nodes.items()):
+            green = row["energy_j"] - row["dirty_energy_j"]
+            out.append(
+                {
+                    "node": node_id,
+                    **row,
+                    "green_energy_j": green,
+                    "green_fraction": (
+                        green / row["energy_j"] if row["energy_j"] else 1.0
+                    ),
+                }
+            )
+        return out
+
+    def top_spans(self) -> list[dict]:
+        return [
+            span for _, _, span in sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        ]
+
+    def split(self) -> dict[str, float]:
+        """Same shape as :func:`repro.obs.energy.energy_split`."""
+        green = self._energy_j - self._dirty_j
+        return {
+            "task_spans": self._energy_spans,
+            "energy_j": self._energy_j,
+            "dirty_energy_j": self._dirty_j,
+            "green_energy_j": green,
+            "green_fraction": green / self._energy_j if self._energy_j > 0 else 1.0,
+        }
 
 
 def stage_table(spans: list[dict]) -> list[dict[str, Any]]:
@@ -228,22 +331,33 @@ def _fmt_quantile(value: Any) -> str:
 
 
 def render_report(
-    spans: list[dict],
+    spans: Iterable[dict],
     top_n: int = 10,
     title: str = "",
     metrics: dict[str, Any] | None = None,
 ) -> str:
-    """The full ASCII report over one trace's spans."""
+    """The full ASCII report over one trace's spans.
+
+    ``spans`` may be any iterable — it is consumed exactly once.
+    """
+    agg = TraceAggregate(top_n)
+    for span in spans:
+        agg.add(span)
+    return _render_aggregate(agg, title=title, metrics=metrics)
+
+
+def _render_aggregate(
+    agg: TraceAggregate, title: str = "", metrics: dict[str, Any] | None = None
+) -> str:
     sections: list[str] = []
     if title:
         sections.append(title)
-    pids = sorted({s["pid"] for s in spans})
     sections.append(
-        f"{len(spans)} spans from {len(pids)} process(es); "
-        f"{sum(1 for s in spans if s['name'] == 'task.execute')} task spans"
+        f"{agg.spans} spans from {len(agg.pids)} process(es); "
+        f"{agg.task_spans} task spans"
     )
 
-    stages = stage_table(spans)
+    stages = agg.stage_rows()
     if stages:
         sections.append("\n== pipeline stages ==")
         sections.append(
@@ -256,7 +370,7 @@ def render_report(
             )
         )
 
-    nodes = node_table(spans)
+    nodes = agg.node_rows()
     if nodes:
         sections.append("\n== per-node tasks & energy ==")
         sections.append(
@@ -279,7 +393,7 @@ def render_report(
                 ],
             )
         )
-        split = energy_split(spans)
+        split = agg.split()
         sections.append(
             f"energy split: {split['energy_j']:.1f} J total = "
             f"{split['dirty_energy_j']:.1f} J dirty + "
@@ -287,7 +401,7 @@ def render_report(
             f"(green fraction {split['green_fraction']:.3f})"
         )
 
-    top = slowest_spans(spans, top_n)
+    top = agg.top_spans()
     if top:
         sections.append(f"\n== top {len(top)} slowest spans ==")
         sections.append(
@@ -360,13 +474,29 @@ def render_report(
 
 
 def report_from_file(path: str | os.PathLike, top_n: int = 10) -> str:
-    """Validate and summarise one JSONL trace file.
+    """Validate and summarise one JSONL trace file, in one streaming pass.
+
+    Per-record schema checks happen inside :func:`iter_records`; the
+    header checks (schema version, span-count match) happen here, so a
+    corrupt trace still raises :class:`ValueError` without the whole
+    span list ever being materialised.
 
     A ``<trace>.metrics.json`` sidecar next to the trace (written by
     ``repro compare --trace``) contributes the kernel-dispatch section.
     """
-    validate_jsonl(path)
-    _meta, spans = read_spans(path)
+    agg = TraceAggregate(top_n)
+    meta: dict = {}
+    for record in iter_records(path):
+        if record.get("type") == "meta":
+            meta = record
+            continue
+        agg.add(record)
+    if meta.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema_version {meta.get('schema_version')!r}")
+    if meta.get("span_count") != agg.spans:
+        raise ValueError(
+            f"meta span_count {meta.get('span_count')} != {agg.spans} span lines"
+        )
     metrics: dict[str, Any] | None = None
     sidecar = str(path) + ".metrics.json"
     if os.path.exists(sidecar):
@@ -377,4 +507,4 @@ def report_from_file(path: str | os.PathLike, top_n: int = 10) -> str:
             loaded = None
         if isinstance(loaded, dict):
             metrics = loaded
-    return render_report(spans, top_n=top_n, title=f"trace: {path}", metrics=metrics)
+    return _render_aggregate(agg, title=f"trace: {path}", metrics=metrics)

@@ -42,6 +42,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "validate_jsonl",
     "read_spans",
+    "iter_records",
 ]
 
 #: Bumped when the JSONL record layout changes.
@@ -134,6 +135,37 @@ class Tracer:
         self._spans: list[dict] = []
         self._lock = threading.Lock()
         self._stack = threading.local()
+        # Optional live consumer: every finished span record is handed
+        # to the sink (outside the collection lock) — the hook the
+        # repro.obs.live telemetry bus installs. None costs one check.
+        self._sink: Callable[[dict], None] | None = None
+
+    def set_sink(self, sink: Callable[[dict], None] | None) -> None:
+        """Install (or clear) a per-record callback.
+
+        The sink is invoked synchronously on the recording thread for
+        every finished span, including adopted worker spans. A failing
+        sink is logged and detached rather than poisoning tracing.
+        """
+        self._sink = sink
+
+    def _feed_sink(self, record: dict) -> None:
+        sink = self._sink
+        if sink is None:
+            return
+        try:
+            sink(record)
+        except Exception:
+            # A broken live consumer must never take the tracer down;
+            # detach it so one bad record doesn't log-spam every span.
+            self._sink = None
+            from repro.obs.log import get_logger, log_event
+            import logging
+
+            log_event(
+                get_logger(__name__), logging.WARNING,
+                "trace.sink.detached", span=record.get("name"),
+            )
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -156,6 +188,7 @@ class Tracer:
     def _record(self, record: dict) -> None:
         with self._lock:
             self._spans.append(record)
+        self._feed_sink(record)
 
     def current_span_id(self) -> str | None:
         stack = self._stack_list()
@@ -206,11 +239,15 @@ class Tracer:
     def adopt(self, records: Iterable[dict], parent_id: str | None = None) -> None:
         """Ingest spans finished elsewhere (a worker process); root
         spans among them are re-parented under ``parent_id``."""
+        adopted: list[dict] = []
         with self._lock:
             for record in records:
                 if parent_id is not None and record.get("parent_id") is None:
                     record = {**record, "parent_id": parent_id}
                 self._spans.append(record)
+                adopted.append(record)
+        for record in adopted:
+            self._feed_sink(record)
 
     # -- access & export ----------------------------------------------------
 
@@ -267,10 +304,14 @@ class Tracer:
         return len(events)
 
 
-def read_spans(path: str | os.PathLike) -> tuple[dict, list[dict]]:
-    """Load a JSONL trace file → ``(meta, spans)``, validating as it goes."""
-    meta: dict = {}
-    spans: list[dict] = []
+def iter_records(path: str | os.PathLike) -> Iterable[dict]:
+    """Stream a JSONL trace file record-by-record, validating as it goes.
+
+    Yields every record (the ``meta`` header first, then each span) with
+    per-record schema checks, holding only one line in memory at a time —
+    the reader `repro obs report` and `validate_jsonl` are built on, so
+    multi-hundred-MB service traces never get materialised.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -279,41 +320,68 @@ def read_spans(path: str | os.PathLike) -> tuple[dict, list[dict]]:
             record = json.loads(line)
             kind = record.get("type")
             if kind == "meta":
-                meta = record
+                pass
             elif kind == "span":
                 missing = SPAN_REQUIRED_KEYS - record.keys()
                 if missing:
                     raise ValueError(
                         f"{path}:{lineno}: span record missing keys {sorted(missing)}"
                     )
-                spans.append(record)
+                if not isinstance(record["attrs"], dict):
+                    raise ValueError(f"{path}:{lineno}: span attrs must be an object")
+                if record["duration_s"] < 0:
+                    raise ValueError(
+                        f"{path}:{lineno}: span duration must be non-negative"
+                    )
             else:
                 raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+            yield record
+
+
+def read_spans(path: str | os.PathLike) -> tuple[dict, list[dict]]:
+    """Load a JSONL trace file → ``(meta, spans)``, validating as it goes.
+
+    Materialises the whole span list; prefer :func:`iter_records` for
+    large service traces.
+    """
+    meta: dict = {}
+    spans: list[dict] = []
+    for record in iter_records(path):
+        if record.get("type") == "meta":
+            meta = record
+        else:
+            spans.append(record)
     return meta, spans
 
 
 def validate_jsonl(path: str | os.PathLike) -> dict:
     """Validate a trace file's schema; returns summary stats.
 
-    Raises :class:`ValueError` on malformed records, wrong schema
-    version, or a span-count mismatch against the meta header.
+    Streams line-by-line (constant memory in the span count). Raises
+    :class:`ValueError` on malformed records, wrong schema version, or a
+    span-count mismatch against the meta header.
     """
-    meta, spans = read_spans(path)
+    meta: dict = {}
+    count = 0
+    names: set[str] = set()
+    pids: set[int] = set()
+    for record in iter_records(path):
+        if record.get("type") == "meta":
+            meta = record
+            continue
+        count += 1
+        names.add(record["name"])
+        pids.add(record["pid"])
     if meta.get("schema_version") != SCHEMA_VERSION:
         raise ValueError(
             f"unsupported schema_version {meta.get('schema_version')!r}"
         )
-    if meta.get("span_count") != len(spans):
+    if meta.get("span_count") != count:
         raise ValueError(
-            f"meta span_count {meta.get('span_count')} != {len(spans)} span lines"
+            f"meta span_count {meta.get('span_count')} != {count} span lines"
         )
-    for record in spans:
-        if not isinstance(record["attrs"], dict):
-            raise ValueError("span attrs must be an object")
-        if record["duration_s"] < 0:
-            raise ValueError("span duration must be non-negative")
     return {
-        "spans": len(spans),
-        "names": sorted({s["name"] for s in spans}),
-        "pids": sorted({s["pid"] for s in spans}),
+        "spans": count,
+        "names": sorted(names),
+        "pids": sorted(pids),
     }

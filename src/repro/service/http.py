@@ -18,6 +18,9 @@ POST   /v1/drain                 stop admission, drain in the background
 GET    /healthz                  liveness + queue posture
 GET    /v1/stats                 full manager stats
 GET    /metrics                  Prometheus text exposition
+GET    /live                     live-plane snapshot + event long-poll
+                                 (503 until the live plane is enabled;
+                                 ``?since=<seq>&timeout=<s>`` long-polls)
 ====== ========================= ===========================================
 """
 
@@ -26,10 +29,12 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 import repro.obs as obs
+from repro.obs.live import active_plane
 from repro.obs.log import get_logger, log_event
 from repro.service.jobs import JobSpec, JobState
 from repro.service.manager import JobManager
@@ -101,6 +106,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._healthz()
         if parts == ["metrics"]:
             return self._metrics()
+        if parts == ["live"]:
+            return self._live()
         if parts == ["v1", "stats"]:
             return self._send_json(200, self.manager.stats())
         if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
@@ -184,6 +191,45 @@ class _Handler(BaseHTTPRequestHandler):
                 "queue_depth": stats["queue_depth"],
                 "running": stats["running"],
                 "accepting": stats["accepting"],
+            },
+        )
+
+    def _live(self) -> None:
+        plane = active_plane()
+        if plane is None:
+            self._send_json(
+                503,
+                {
+                    "error": "live telemetry plane is not enabled "
+                    "(start the service with --live / enable_live())"
+                },
+            )
+            return
+        query = urllib.parse.parse_qs(urllib.parse.urlparse(self.path).query)
+
+        def _number(key: str, default: float) -> float:
+            try:
+                return float(query[key][0])
+            except (KeyError, IndexError, ValueError):
+                return default
+
+        since = int(_number("since", 0))
+        # Long-poll bounded well under typical client timeouts; 0 means
+        # answer immediately with whatever is buffered.
+        timeout_s = min(max(_number("timeout", 0.0), 0.0), 30.0)
+        events = plane.bus.wait_for(since, timeout_s=timeout_s, limit=500)
+        stats = self.manager.stats()
+        self._send_json(
+            200,
+            {
+                "seq": plane.bus.last_seq,
+                "events": events,
+                "snapshot": plane.snapshot(),
+                "queue": {
+                    "queue_depth": stats["queue_depth"],
+                    "running": stats["running"],
+                    "accepting": stats["accepting"],
+                },
             },
         )
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any
 
 import repro.obs as obs
+from repro.obs.live import active_plane, tenant_context
 from repro.obs.log import get_logger, log_event
 from repro.service.jobs import (
     TERMINAL_STATES,
@@ -266,6 +267,9 @@ class JobManager:
                 obs.get_metrics().histogram(
                     "repro_service_queue_wait_seconds"
                 ).observe(wait_s)
+                plane = active_plane()
+                if plane is not None:
+                    plane.slo.record("queue_wait", wait_s)
             self.run_record(record)
 
     def _next_queued_locked(self) -> JobRecord | None:
@@ -287,7 +291,11 @@ class JobManager:
             dataset=spec.dataset,
         ) as sp:
             try:
-                result = self.executor.run(spec)
+                # Task spans are emitted synchronously on this worker
+                # thread, so the tenant context makes the live ledger's
+                # per-tenant attribution exact.
+                with tenant_context(spec.tenant):
+                    result = self.executor.run(spec)
             except Exception as exc:
                 log_event(
                     _log, logging.WARNING, "service.run.failed",
@@ -328,6 +336,22 @@ class JobManager:
             metrics = obs.get_metrics()
             metrics.counter("repro_service_jobs_total", state=state.value).inc()
             metrics.histogram("repro_service_run_seconds").observe(run_s)
+            plane = active_plane()
+            if plane is not None:
+                latency_s = (record.queue_wait_s or 0.0) + run_s
+                plane.slo.record("job_latency", latency_s)
+                if result is not None and "total_dirty_energy_j" in result:
+                    plane.slo.record(
+                        "dirty_j_per_job", float(result["total_dirty_energy_j"])
+                    )
+                plane.publish_event(
+                    "job.finished",
+                    job_id=record.job_id,
+                    tenant=record.spec.tenant,
+                    state=state.value,
+                    latency_s=latency_s,
+                    run_s=run_s,
+                )
 
     def _release_tenant_locked(self, tenant: str) -> None:
         left = self._tenant_inflight.get(tenant, 0) - 1
@@ -361,6 +385,11 @@ class JobManager:
         metrics.histogram(
             "repro_service_queue_depth_jobs", bounds=QUEUE_DEPTH_BUCKETS
         ).observe(depth)
+        plane = active_plane()
+        if plane is not None:
+            plane.publish_event(
+                "service.queue", depth=depth, running=self._running
+            )
 
     # -- lifecycle ----------------------------------------------------------
 

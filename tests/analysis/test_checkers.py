@@ -544,3 +544,40 @@ class TestSpanCoverage:
             "src/repro/service/manager.py",
         )
         assert run_checker(SpanCoverageChecker(), good) == []
+
+    def test_default_contract_covers_live_plane(self):
+        required = SpanCoverageChecker().required["repro.obs.live.plane"]
+        assert required == frozenset({"publish_span", "publish_event"})
+
+    def test_true_positive_live_plane_publication_dropped(self):
+        # publish_span charges the ledger but never reaches the bus:
+        # /live and `repro obs top` would go dark silently.
+        bad = mod(
+            """
+            class LivePlane:
+                def publish_span(self, record):
+                    self.ledger.charge(record)
+
+                def publish_event(self, kind, **data):
+                    self.bus.publish(kind, **data)
+            """,
+            "src/repro/obs/live/plane.py",
+        )
+        findings = run_checker(SpanCoverageChecker(), bad)
+        assert len(findings) == 1
+        assert findings[0].rule == "SPAN-COVERAGE"
+        assert "LivePlane.publish_span" in findings[0].message
+
+    def test_clean_live_plane_publishes_to_bus(self):
+        good = mod(
+            """
+            class LivePlane:
+                def publish_span(self, record):
+                    self.bus.publish("span", name=record["name"])
+
+                def publish_event(self, kind, **data):
+                    self.bus.publish(kind, **data)
+            """,
+            "src/repro/obs/live/plane.py",
+        )
+        assert run_checker(SpanCoverageChecker(), good) == []

@@ -117,3 +117,16 @@ class TestPrometheus:
 
     def test_empty_registry_renders_empty(self, reg):
         assert reg.render_prometheus() == ""
+
+    def test_label_values_are_escaped(self, reg):
+        # Backslash, quote and newline in a label value must survive a
+        # Prometheus text-format round trip (spec: \\, \", \n escapes).
+        reg.counter("repro_evil", path='C:\\tmp', note='say "hi"\nbye').inc()
+        text = reg.render_prometheus()
+        assert 'path="C:\\\\tmp"' in text
+        assert 'note="say \\"hi\\"\\nbye"' in text
+        # The rendered exposition stays one line per sample.
+        sample_lines = [
+            line for line in text.splitlines() if line.startswith("repro_evil{")
+        ]
+        assert len(sample_lines) == 1

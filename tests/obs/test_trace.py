@@ -12,6 +12,7 @@ from repro.obs.trace import (
     SCHEMA_VERSION,
     SPAN_REQUIRED_KEYS,
     Tracer,
+    iter_records,
     read_spans,
     validate_jsonl,
 )
@@ -210,3 +211,80 @@ class TestGlobalSwitch:
         f()
         assert calls == [False, True]
         assert [s["name"] for s in obs.get_tracer().finished_spans()] == ["flagged"]
+
+
+class TestSink:
+    def test_sink_sees_every_finished_span(self):
+        tracer = Tracer()
+        seen = []
+        tracer.set_sink(seen.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.emit("task.execute", start_s=0.0, duration_s=1.0)
+        assert [r["name"] for r in seen] == ["inner", "outer", "task.execute"]
+
+    def test_sink_sees_adopted_records(self):
+        worker = Tracer()
+        with worker.span("remote"):
+            pass
+        main = Tracer()
+        seen = []
+        main.set_sink(seen.append)
+        main.adopt(worker.finished_spans())
+        assert [r["name"] for r in seen] == ["remote"]
+
+    def test_failing_sink_detaches_and_tracing_survives(self, caplog):
+        tracer = Tracer()
+        calls = []
+
+        def bad(record):
+            calls.append(record["name"])
+            raise RuntimeError("consumer exploded")
+
+        tracer.set_sink(bad)
+        with caplog.at_level("WARNING"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        # One failure, then detached: the second span never reaches it
+        # and both spans are still recorded.
+        assert calls == ["first"]
+        assert [s["name"] for s in tracer.finished_spans()] == ["first", "second"]
+        assert any("trace.sink.detached" in r.message for r in caplog.records)
+
+
+class TestStreamingReaders:
+    N_SPANS = 5000
+
+    def _big_trace(self, tmp_path):
+        tracer = Tracer()
+        for i in range(self.N_SPANS):
+            tracer.emit("task.execute", start_s=float(i), duration_s=0.5, node_id=i % 4)
+        path = tmp_path / "big.jsonl"
+        tracer.export_jsonl(path)
+        return path
+
+    def test_iter_records_is_lazy(self, tmp_path):
+        path = self._big_trace(tmp_path)
+        it = iter(iter_records(path))
+        first = next(it)
+        assert first["type"] == "meta"
+        second = next(it)
+        assert second["name"] == "task.execute"
+        it.close()  # closing early must not error (file handle released)
+
+    def test_validate_streams_large_trace(self, tmp_path):
+        path = self._big_trace(tmp_path)
+        summary = validate_jsonl(path)
+        assert summary["spans"] == self.N_SPANS
+        assert summary["names"] == ["task.execute"]
+
+    def test_iter_records_reports_bad_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        meta = {"type": "meta", "schema_version": SCHEMA_VERSION, "span_count": 1}
+        bad = {"type": "span", "name": "x"}
+        path.write_text(json.dumps(meta) + "\n" + json.dumps(bad) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            list(iter_records(path))

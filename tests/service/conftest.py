@@ -3,12 +3,15 @@
 import pytest
 
 import repro.obs as obs
+from repro.obs.live import reset_live
 
 
 @pytest.fixture(autouse=True)
 def clean_obs_state():
     obs.disable()
     obs.reset()
+    reset_live()
     yield
     obs.disable()
     obs.reset()
+    reset_live()

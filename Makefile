@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test lint bench bench-kernels bench-pipeline bench-service obs-smoke serve examples results clean
+.PHONY: install test lint lint-runtime bench bench-kernels bench-pipeline bench-service obs-smoke serve examples results clean
 
 install:
 	python setup.py develop
@@ -11,6 +11,14 @@ test:
 # Project-invariant static analysis (zero-dependency; pyflakes runs in CI).
 lint:
 	PYTHONPATH=src python -m repro lint src tests benchmarks examples --baseline .lint-baseline.json
+
+# Static rules + the runtime lock watchdog: re-run the concurrent test
+# surface with every lock instrumented, then merge the observed
+# acquisition graph into LOCK-ORDER (see docs/static-analysis.md).
+lint-runtime:
+	rm -f lock_order.json
+	REPRO_LOCK_WATCH=lock_order.json PYTHONPATH=src python -m pytest -q tests/service tests/obs/test_live.py
+	PYTHONPATH=src python -m repro lint src tests benchmarks examples --baseline .lint-baseline.json --runtime-report lock_order.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

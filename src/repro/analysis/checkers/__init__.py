@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from repro.analysis.checkers.guard_consistency import GuardConsistencyChecker
 from repro.analysis.checkers.kernel_oracle import KernelOracleChecker
+from repro.analysis.checkers.lock_leak import LockLeakChecker
+from repro.analysis.checkers.lock_order import LockOrderChecker
 from repro.analysis.checkers.nondet import NondetChecker
 from repro.analysis.checkers.race_global import RaceGlobalChecker
 from repro.analysis.checkers.silent_except import SilentExceptChecker
@@ -10,7 +13,10 @@ from repro.analysis.checkers.span_coverage import SpanCoverageChecker
 from repro.analysis.checkers.truthy_sized import TruthySizedChecker
 
 __all__ = [
+    "GuardConsistencyChecker",
     "KernelOracleChecker",
+    "LockLeakChecker",
+    "LockOrderChecker",
     "NondetChecker",
     "RaceGlobalChecker",
     "SilentExceptChecker",

@@ -52,7 +52,7 @@ _MUTABLE_CALLS = {
 }
 _NDARRAY_CALLS = {"empty", "zeros", "ones", "full", "array", "arange", "empty_like", "zeros_like"}
 
-_MUTATING_METHODS = {
+MUTATING_METHODS = {
     "append",
     "extend",
     "insert",
@@ -178,7 +178,7 @@ class RaceGlobalChecker(ModuleChecker):
             elif isinstance(node, ast.Call):
                 if (
                     isinstance(node.func, ast.Attribute)
-                    and node.func.attr in _MUTATING_METHODS
+                    and node.func.attr in MUTATING_METHODS
                     and isinstance(node.func.value, ast.Name)
                     and node.func.value.id in live
                 ):

@@ -15,7 +15,10 @@ from typing import Iterable, Sequence
 from repro.analysis.base import Checker
 from repro.analysis.baseline import split_baselined
 from repro.analysis.checkers import (
+    GuardConsistencyChecker,
     KernelOracleChecker,
+    LockLeakChecker,
+    LockOrderChecker,
     NondetChecker,
     RaceGlobalChecker,
     SilentExceptChecker,
@@ -29,8 +32,13 @@ from repro.analysis.reporters import AnalysisReport
 SYNTAX_RULE = "SYNTAX-ERROR"
 
 
-def all_checkers() -> list[Checker]:
-    """The shipped rule set, in catalogue order."""
+def all_checkers(runtime_report: dict | None = None) -> list[Checker]:
+    """The shipped rule set, in catalogue order.
+
+    ``runtime_report`` is a parsed ``lock_order.json`` from
+    ``repro.analysis.runtime``; LOCK-ORDER merges its observed
+    acquisition edges into the static graph.
+    """
     return [
         RaceGlobalChecker(),
         TruthySizedChecker(),
@@ -38,6 +46,9 @@ def all_checkers() -> list[Checker]:
         KernelOracleChecker(),
         NondetChecker(),
         SpanCoverageChecker(),
+        LockOrderChecker(runtime_report=runtime_report),
+        LockLeakChecker(),
+        GuardConsistencyChecker(),
     ]
 
 

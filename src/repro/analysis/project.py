@@ -23,16 +23,31 @@ _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\- ]*)\])?", re.IGNORECASE
 )
 
-#: Directories never scanned, wherever they appear.
+#: Directories never scanned, wherever they appear. Includes the
+#: artifact/temp dirs the benchmarks and CI legs drop next to their
+#: JSON outputs (obs-smoke-artifacts, results, artifacts) — stray
+#: generated .py files there must not slow the scan or pollute it
+#: with unfixable findings.
 SKIP_DIRS = {
     "__pycache__",
     ".git",
     ".hypothesis",
     ".pytest_cache",
+    ".tox",
+    ".eggs",
+    ".venv",
+    "venv",
+    "node_modules",
     "build",
     "dist",
     "results",
+    "artifacts",
+    "obs-smoke-artifacts",
 }
+
+#: Directory-name suffixes treated like SKIP_DIRS (setuptools metadata,
+#: `foo.egg-info/`, and scratch dirs like `bench.tmp/`).
+SKIP_DIR_SUFFIXES = (".egg-info", ".tmp")
 
 
 def parse_noqa(lines: list[str]) -> dict[int, frozenset[str] | None]:
@@ -169,7 +184,10 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
                 yield path
             continue
         for sub in sorted(path.rglob("*.py")):
-            if any(part in SKIP_DIRS for part in sub.parts):
+            if any(
+                part in SKIP_DIRS or part.endswith(SKIP_DIR_SUFFIXES)
+                for part in sub.parts[:-1]
+            ):
                 continue
             yield sub
 

@@ -1,0 +1,24 @@
+"""Runtime lock-order watchdog — the dynamic half of the concurrency
+suite.
+
+``watch_locks()`` instruments ``threading.Lock/RLock/Condition`` so
+real test runs record the acquisition orders that actually happen; the
+report it dumps (``lock_order.json``) feeds back into the static
+LOCK-ORDER rule via ``repro lint --runtime-report``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runtime.watchdog import (
+    LockWatchdog,
+    active_watchdog,
+    load_runtime_report,
+    watch_locks,
+)
+
+__all__ = [
+    "LockWatchdog",
+    "active_watchdog",
+    "load_runtime_report",
+    "watch_locks",
+]

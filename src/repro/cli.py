@@ -206,9 +206,37 @@ def cmd_lint(args) -> int:
     from repro.analysis.engine import all_checkers
     from repro.analysis.reporters import render_rules
 
-    if args.rules:
-        print(render_rules([(c.rule_id, c.description) for c in all_checkers()]))
-        return 0
+    runtime_report = None
+    if args.runtime_report:
+        from repro.analysis.runtime import load_runtime_report
+
+        try:
+            runtime_report = load_runtime_report(args.runtime_report)
+        except OSError as exc:
+            print(f"repro lint: cannot read runtime report: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    checkers = all_checkers(runtime_report=runtime_report)
+    if args.rules is not None:
+        if args.rules == "":
+            # Bare --rules: print the catalogue.
+            print(render_rules([(c.rule_id, c.description) for c in checkers]))
+            return 0
+        valid = {c.rule_id for c in checkers}
+        wanted = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in wanted if r not in valid]
+        if unknown or not wanted:
+            bad = ", ".join(unknown) or "(empty)"
+            print(
+                f"repro lint: unknown rule id(s): {bad}; valid ids: "
+                + ", ".join(c.rule_id for c in checkers),
+                file=sys.stderr,
+            )
+            return 2
+        checkers = [c for c in checkers if c.rule_id in wanted]
 
     paths = [Path(p) for p in (args.paths or ("src", "tests"))]
     missing = [str(p) for p in paths if not p.exists()]
@@ -231,7 +259,9 @@ def cmd_lint(args) -> int:
     # after --baseline filtering would drop still-present grandfathered
     # entries, so the very next gated run reports them as new.
     report = analyze_paths(
-        paths, baseline_keys=None if args.write_baseline else baseline_keys
+        paths,
+        checkers=checkers,
+        baseline_keys=None if args.write_baseline else baseline_keys,
     )
 
     if args.write_baseline:
@@ -419,7 +449,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings as a new baseline and exit 0",
     )
     p.add_argument(
-        "--rules", action="store_true", help="list the rule catalogue and exit"
+        "--rules",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="IDS",
+        help="bare: list the rule catalogue and exit; with a comma-"
+        "separated list of rule ids: run only those rules "
+        "(unknown ids exit 2)",
+    )
+    p.add_argument(
+        "--runtime-report",
+        default=None,
+        metavar="PATH",
+        help="lock_order.json from a watchdog-instrumented run "
+        "(REPRO_LOCK_WATCH=PATH pytest ...); LOCK-ORDER merges its "
+        "observed acquisition edges into the static graph",
     )
     p.set_defaults(func=cmd_lint)
 

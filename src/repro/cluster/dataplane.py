@@ -131,7 +131,8 @@ class SharedPartitionStore:
 
     @property
     def live_segments(self) -> int:
-        return len(self._segments)
+        with self._lock:
+            return len(self._segments)
 
     def _touch(self, name: str) -> None:
         seg = self._segments.pop(name, None)
@@ -282,7 +283,8 @@ class SharedPartitionStore:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def clear_cache(self) -> None:
         """Drop the identity/digest caches (published bytes remain

@@ -437,7 +437,8 @@ class ProcessPoolEngine(ExecutionEngine):
         Stays at 1 across any number of jobs unless the pool broke (a
         worker died) or :meth:`shutdown` was followed by more work.
         """
-        return self._pools_created
+        with self._lifecycle:
+            return self._pools_created
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._lifecycle:
@@ -464,9 +465,11 @@ class ProcessPoolEngine(ExecutionEngine):
     @property
     def dataplane_stats(self) -> DataPlaneStats:
         """Counters from the shared-memory store (zeros before first use)."""
-        if self._store is None:
+        with self._lifecycle:
+            store = self._store
+        if store is None:
             return DataPlaneStats()
-        return self._store.stats
+        return store.stats
 
     def shutdown(self, wait: bool = True) -> None:
         """Release the worker processes and unlink any shared-memory

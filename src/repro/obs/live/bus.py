@@ -60,12 +60,14 @@ class TelemetryBus:
 
     @property
     def last_seq(self) -> int:
-        return self._seq
+        with self._cond:
+            return self._seq
 
     @property
     def dropped(self) -> int:
         """Events evicted unread because the ring was full."""
-        return self._dropped
+        with self._cond:
+            return self._dropped
 
     def events_since(self, since: int = 0, limit: int | None = None) -> list[dict]:
         """Buffered events with ``seq > since``, oldest first."""

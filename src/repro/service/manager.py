@@ -129,6 +129,7 @@ class JobManager:
                 )
                 depth = len(self._queue)
                 self._peak_queue_depth = max(self._peak_queue_depth, depth)
+                peak, running = self._peak_queue_depth, self._running
                 self._cond.notify()
             sp.set_attr("state", record.state.value)
             sp.set_attr("job_id", record.job_id)
@@ -138,7 +139,7 @@ class JobManager:
                 metrics.counter(
                     "repro_service_accepted_total", tenant=spec.tenant
                 ).inc()
-                self._record_queue_depth(depth)
+                self._record_queue_depth(depth, peak, running)
             return record
 
     def _admission_reason_locked(self, spec: JobSpec) -> str | None:
@@ -254,8 +255,9 @@ class JobManager:
                 record.started_at = time.monotonic()
                 self._running += 1
                 depth = len(self._queue)
+                peak, running = self._peak_queue_depth, self._running
             if obs.enabled():
-                self._record_queue_depth(depth)
+                self._record_queue_depth(depth, peak, running)
                 wait_s = record.queue_wait_s or 0.0
                 obs.emit(
                     "service.queue_wait",
@@ -378,18 +380,19 @@ class JobManager:
                 len(expired)
             )
 
-    def _record_queue_depth(self, depth: int) -> None:
+    def _record_queue_depth(self, depth: int, peak: int, running: int) -> None:
+        # Callers capture depth/peak/running under self._cond and pass
+        # them in, so this method touches no shared state while
+        # publishing (metrics and the live plane lock internally).
         metrics = obs.get_metrics()
         metrics.gauge("repro_service_queue_depth").set(depth)
-        metrics.gauge("repro_service_queue_depth_peak").set(self._peak_queue_depth)
+        metrics.gauge("repro_service_queue_depth_peak").set(peak)
         metrics.histogram(
             "repro_service_queue_depth_jobs", bounds=QUEUE_DEPTH_BUCKETS
         ).observe(depth)
         plane = active_plane()
         if plane is not None:
-            plane.publish_event(
-                "service.queue", depth=depth, running=self._running
-            )
+            plane.publish_event("service.queue", depth=depth, running=running)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -271,6 +271,27 @@ class TestSilentExcept:
         assert len(findings) == 2
         assert all(f.rule == "SILENT-EXCEPT" for f in findings)
 
+    def test_pass_only_except_nested_in_with_inside_loop(self):
+        # ISSUE 10 satellite: the request-draining shape from
+        # service/http.py — a swallow buried in a with-body that is
+        # itself inside a loop must still be flagged (ast.walk descends
+        # through both bodies; nothing about nesting is exempt).
+        bad = mod(
+            """
+            def serve_forever(listener):
+                for conn in listener:
+                    with conn:
+                        try:
+                            handle(conn)
+                        except Exception:
+                            pass
+            """,
+            "src/repro/service/fixture_http.py",
+        )
+        findings = run_checker(SilentExceptChecker(), bad)
+        assert len(findings) == 1
+        assert findings[0].rule == "SILENT-EXCEPT"
+
     def test_clean_logged_narrow_or_reraised(self):
         good = mod(
             """

@@ -97,6 +97,9 @@ class TestJsonOutput:
             "KERNEL-ORACLE",
             "NONDET",
             "SPAN-COVERAGE",
+            "LOCK-ORDER",
+            "LOCK-LEAK",
+            "GUARD-CONSISTENCY",
         }
         (finding,) = payload["findings"]
         assert finding["rule"] == "SILENT-EXCEPT"
@@ -195,5 +198,59 @@ class TestRulesListing:
             "KERNEL-ORACLE",
             "NONDET",
             "SPAN-COVERAGE",
+            "LOCK-ORDER",
+            "LOCK-LEAK",
+            "GUARD-CONSISTENCY",
         ):
             assert rule in out
+
+
+class TestRuleSelection:
+    def test_selected_rule_runs_alone(self, bad_file, capsys):
+        assert main(["lint", "--rules", "SILENT-EXCEPT", str(bad_file)]) == 1
+        payload_out = capsys.readouterr().out
+        assert "SILENT-EXCEPT" in payload_out
+
+    def test_selection_skips_other_rules(self, bad_file, capsys):
+        # NONDET alone must not report the silent except.
+        assert main(["lint", "--rules", "NONDET", str(bad_file)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_selection_is_case_insensitive(self, bad_file):
+        assert main(["lint", "--rules", "silent-except", str(bad_file)]) == 1
+
+    def test_unknown_rule_exits_2_with_valid_ids(self, bad_file, capsys):
+        # The historical bug: an unknown id silently ran zero checkers
+        # and exited 0, making a typo in CI look like a clean tree.
+        assert main(["lint", "--rules", "SILENT-EXCEPTT", str(bad_file)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id(s): SILENT-EXCEPTT" in err
+        assert "GUARD-CONSISTENCY" in err  # the valid-id list is printed
+
+    def test_empty_selection_exits_2(self, bad_file, capsys):
+        assert main(["lint", "--rules", ",,", str(bad_file)]) == 2
+        assert "valid ids" in capsys.readouterr().err
+
+
+class TestRuntimeReportFlag:
+    def test_missing_report_exits_2(self, clean_file, capsys):
+        assert (
+            main(["lint", "--runtime-report", "no/such/report.json", str(clean_file)])
+            == 2
+        )
+        assert "cannot read runtime report" in capsys.readouterr().err
+
+    def test_malformed_report_exits_2(self, tmp_path, clean_file, capsys):
+        report = tmp_path / "lock_order.json"
+        report.write_text('{"not": "a report"}')
+        assert (
+            main(["lint", "--runtime-report", str(report), str(clean_file)]) == 2
+        )
+        assert "not a lock-order report" in capsys.readouterr().err
+
+    def test_valid_report_accepted(self, tmp_path, clean_file, capsys):
+        report = tmp_path / "lock_order.json"
+        report.write_text(
+            json.dumps({"version": 1, "locks": {}, "edges": [], "cycles": []})
+        )
+        assert main(["lint", "--runtime-report", str(report), str(clean_file)]) == 0

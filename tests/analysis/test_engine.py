@@ -231,6 +231,28 @@ class TestSyntaxAndLoading:
         found = sorted(p.name for p in iter_python_files([tmp_path]))
         assert found == ["a.py"]
 
+    def test_iter_python_files_skips_artifact_and_temp_dirs(self, tmp_path):
+        # ISSUE 10 satellite: the benchmark harness drops scratch trees
+        # (`artifacts/`, `obs-smoke-artifacts/`, `*.tmp/`) and setuptools
+        # leaves `*.egg-info/` next to the sources; stray generated .py
+        # files there must never enter the scan.
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        for skipped in (
+            "artifacts",
+            "obs-smoke-artifacts",
+            "results",
+            "repro.egg-info",
+            "bench-run.tmp",
+            ".venv",
+        ):
+            (tmp_path / skipped / "nested").mkdir(parents=True)
+            (tmp_path / skipped / "gen.py").write_text("x = 1\n")
+            (tmp_path / skipped / "nested" / "deep.py").write_text("x = 1\n")
+        # A *file* whose name merely ends in .tmp.py is not a skipped dir.
+        (tmp_path / "scratch.tmp.py").write_text("x = 1\n")
+        found = sorted(p.name for p in iter_python_files([tmp_path]))
+        assert found == ["keep.py", "scratch.tmp.py"]
+
     def test_explicit_checkers_override(self):
         report = analyze_sources(
             (SWALLOW, "src/repro/x.py"), checkers=[NondetChecker()]

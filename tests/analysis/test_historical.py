@@ -7,6 +7,19 @@ and must stay quiet on the fixed code actually in the tree.
   them and corrupted hashes (flaked ``test_matches_centralized_result``).
 - PR 3: ``Tracer.__len__`` made an empty tracer falsy, so ``if tracer:``
   guards in worker paths silently stopped collecting spans.
+
+The ISSUE 10 concurrency rules get the same treatment, against the
+defect shapes they were written to catch (and in GUARD-CONSISTENCY's
+case, the exact pre-fix metrics code this PR repaired):
+
+- GUARD-CONSISTENCY: ``Counter.value`` read the count with no lock
+  while ``inc`` wrote it under one — a torn read on free-threaded
+  builds and a stale one everywhere.
+- LOCK-LEAK: a worker loop that ``wait()``-ed under ``if`` instead of
+  ``while`` missed spurious wake-ups and woke without its predicate.
+- LOCK-ORDER: the PR 7 shutdown dance taken in opposite orders
+  (lifecycle-then-store in one method, store-then-lifecycle in
+  another) — the deadlock the current detach-then-teardown avoids.
 """
 
 from __future__ import annotations
@@ -14,7 +27,14 @@ from __future__ import annotations
 import textwrap
 from pathlib import Path
 
-from repro.analysis.checkers import RaceGlobalChecker, TruthySizedChecker
+from repro.analysis.checkers import (
+    GuardConsistencyChecker,
+    LockLeakChecker,
+    LockOrderChecker,
+    RaceGlobalChecker,
+    TruthySizedChecker,
+)
+from repro.analysis.engine import analyze_project
 from repro.analysis.project import Project, SourceModule
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -111,3 +131,150 @@ class TestPR3TracerTruthiness:
             TruthySizedChecker().check_project(Project(modules=[module]))
         )
         assert findings == [], "span_count() replaced __len__; nothing to flag"
+
+
+#: The metrics Counter as it was before ISSUE 10: inc() guarded,
+#: value read bare.
+ISSUE10_COUNTER_REVERTED = textwrap.dedent(
+    """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._value = 0
+
+        def inc(self, amount=1):
+            with self._lock:
+                self._value += amount
+
+        @property
+        def value(self):
+            return self._value
+    """
+)
+
+#: A worker loop waiting on its condition under ``if`` — one spurious
+#: wake-up away from dequeuing None.
+ISSUE10_WAIT_IF_REVERTED = textwrap.dedent(
+    """
+    import threading
+
+    class JobManager:
+        def __init__(self):
+            self._cond = threading.Condition()
+            self._queue = []
+
+        def _worker_loop(self):
+            with self._cond:
+                record = self._next_queued()
+                if record is None:
+                    self._cond.wait(timeout=0.1)
+                    record = self._next_queued()
+                return record
+
+        def _next_queued(self):
+            return self._queue.pop() if self._queue else None
+    """
+)
+
+#: The PR 7 shutdown dance with the discipline reverted: one method
+#: nests store-under-lifecycle, the other lifecycle-under-store.
+ISSUE10_SHUTDOWN_ORDER_REVERTED = textwrap.dedent(
+    """
+    import threading
+
+    class ProcessPoolEngine:
+        def __init__(self):
+            self._lifecycle = threading.Condition()
+            self._store_lock = threading.RLock()
+
+        def shutdown(self):
+            with self._lifecycle:
+                with self._store_lock:
+                    self._close_segments()
+
+        def dataplane_stats(self):
+            with self._store_lock:
+                with self._lifecycle:
+                    return self._snapshot()
+    """
+)
+
+
+class TestIssue10CounterGuard:
+    def test_reverted_snippet_is_re_detected(self):
+        module = SourceModule.from_source(
+            ISSUE10_COUNTER_REVERTED, "src/repro/obs/metrics.py"
+        )
+        findings = list(
+            GuardConsistencyChecker().check_project(Project(modules=[module]))
+        )
+        assert findings, "GUARD-CONSISTENCY failed to re-detect the bare read"
+        (finding,) = findings
+        assert finding.rule == "GUARD-CONSISTENCY"
+        assert "Counter._value" in finding.message
+        assert "value" in finding.message
+
+    def test_fixed_module_in_tree_is_clean(self):
+        # analyze_project (not the raw checker) so the deliberate,
+        # noqa-annotated lock-free fast path in _get counts as
+        # suppressed rather than as a finding.
+        path = REPO_ROOT / "src/repro/obs/metrics.py"
+        module = SourceModule.from_path(path, REPO_ROOT)
+        report = analyze_project(
+            Project(modules=[module]), checkers=[GuardConsistencyChecker()]
+        )
+        assert report.findings == [], "every metric read now takes the lock"
+
+
+class TestIssue10WaitWithoutLoop:
+    def test_reverted_snippet_is_re_detected(self):
+        module = SourceModule.from_source(
+            ISSUE10_WAIT_IF_REVERTED, "src/repro/service/manager.py"
+        )
+        findings = list(
+            LockLeakChecker().check_project(Project(modules=[module]))
+        )
+        assert findings, "LOCK-LEAK failed to re-detect wait() under if"
+        (finding,) = findings
+        assert finding.rule == "LOCK-LEAK"
+        assert "wait()" in finding.message
+        assert "_worker_loop" in finding.message
+
+    def test_fixed_module_in_tree_is_clean(self):
+        path = REPO_ROOT / "src/repro/service/manager.py"
+        module = SourceModule.from_path(path, REPO_ROOT)
+        findings = list(
+            LockLeakChecker().check_project(Project(modules=[module]))
+        )
+        assert findings == [], "the worker loop waits in a while-predicate loop"
+
+
+class TestIssue10ShutdownLockOrder:
+    def test_reverted_snippet_is_re_detected(self):
+        module = SourceModule.from_source(
+            ISSUE10_SHUTDOWN_ORDER_REVERTED, "src/repro/cluster/engines.py"
+        )
+        findings = list(
+            LockOrderChecker().check_project(Project(modules=[module]))
+        )
+        assert findings, "LOCK-ORDER failed to re-detect the shutdown cycle"
+        (finding,) = findings
+        assert finding.rule == "LOCK-ORDER"
+        assert "potential deadlock" in finding.message
+        assert "ProcessPoolEngine._lifecycle" in finding.message
+        assert "ProcessPoolEngine._store_lock" in finding.message
+
+    def test_fixed_modules_in_tree_are_clean(self):
+        modules = [
+            SourceModule.from_path(REPO_ROOT / rel, REPO_ROOT)
+            for rel in (
+                "src/repro/cluster/engines.py",
+                "src/repro/cluster/dataplane.py",
+            )
+        ]
+        findings = list(
+            LockOrderChecker().check_project(Project(modules=modules))
+        )
+        assert findings == [], "detach-then-teardown keeps the order acyclic"

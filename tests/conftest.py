@@ -1,0 +1,58 @@
+"""Repo-wide pytest wiring for the runtime lock watchdog.
+
+Setting ``REPRO_LOCK_WATCH=<path>`` instruments every lock the test
+session creates (see :mod:`repro.analysis.runtime`) and dumps the
+merged order graph to ``<path>`` at exit — this is how CI produces the
+``lock_order.json`` that ``repro lint --runtime-report`` consumes.
+Unset, this file costs nothing.
+
+Tests that want the watchdog regardless of the environment use the
+``lock_watch`` fixture: it reuses the session watchdog when one is
+installed (so edges still land in the CI report) and otherwise
+instruments just that test, asserting no lock-order cycle appeared
+either way.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.runtime import LockWatchdog, active_watchdog, watch_locks
+
+_WATCH_ENV = "REPRO_LOCK_WATCH"
+_session_watchdog: LockWatchdog | None = None
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    global _session_watchdog
+    if not os.environ.get(_WATCH_ENV) or active_watchdog() is not None:
+        return
+    _session_watchdog = LockWatchdog()
+    _session_watchdog.install()
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    global _session_watchdog
+    if _session_watchdog is None:
+        return
+    _session_watchdog.dump(os.environ[_WATCH_ENV], merge=True)
+    _session_watchdog.uninstall()
+    _session_watchdog = None
+
+
+@pytest.fixture
+def lock_watch():
+    """A live :class:`LockWatchdog`; fails the test on new order cycles."""
+    session = active_watchdog()
+    if session is not None:
+        before = len(session.report()["cycles"])
+        yield session
+        after = session.report()["cycles"]
+        assert len(after) == before, f"lock-order cycle(s) observed: {after[before:]}"
+    else:
+        with watch_locks() as watchdog:
+            yield watchdog
+            cycles = watchdog.report()["cycles"]
+            assert not cycles, f"lock-order cycle(s) observed: {cycles}"
